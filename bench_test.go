@@ -1,0 +1,289 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// figure/table runs a single-seed sweep (the paper averages 5 seeds; use
+// cmd/peas-bench for the full version) and reports the resulting rows via
+// b.Log, plus micro-benchmarks for the hot simulator paths.
+//
+//	go test -bench=. -benchmem
+package peas_test
+
+import (
+	"testing"
+
+	"peas"
+	"peas/internal/coverage"
+	"peas/internal/geom"
+	"peas/internal/sim"
+	"peas/internal/stats"
+)
+
+func quickSweep() peas.SweepOptions {
+	opts := peas.DefaultSweepOptions()
+	opts.Runs = 1
+	return opts
+}
+
+func BenchmarkFig9CoverageLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := peas.DeploymentSweep(quickSweep())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Fig9())
+		}
+	}
+}
+
+func BenchmarkFig10DeliveryLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := peas.DeploymentSweep(quickSweep())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Fig10())
+		}
+	}
+}
+
+func BenchmarkFig11Wakeups(b *testing.B) {
+	opts := quickSweep()
+	opts.Forwarding = false // wakeup counting does not need the workload
+	for i := 0; i < b.N; i++ {
+		res, err := peas.DeploymentSweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Fig11())
+		}
+	}
+}
+
+func BenchmarkTable1EnergyOverhead(b *testing.B) {
+	opts := quickSweep()
+	opts.Forwarding = false
+	for i := 0; i < b.N; i++ {
+		res, err := peas.DeploymentSweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table1())
+		}
+	}
+}
+
+func BenchmarkFig12CoverageUnderFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := peas.FailureSweep(quickSweep())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Fig12())
+		}
+	}
+}
+
+func BenchmarkFig13DeliveryUnderFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := peas.FailureSweep(quickSweep())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Fig13())
+		}
+	}
+}
+
+func BenchmarkFig14WakeupsUnderFailures(b *testing.B) {
+	opts := quickSweep()
+	opts.Forwarding = false
+	for i := 0; i < b.N; i++ {
+		res, err := peas.FailureSweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Fig14())
+		}
+	}
+}
+
+func BenchmarkEstimatorStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.EstimatorStudy(int64(i + 1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+func BenchmarkConnectivityStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.ConnectivityStudy(2, int64(i+1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+func BenchmarkGapStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.GapStudy(1, int64(i+1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+func BenchmarkLossStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.LossStudy(int64(i + 1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+func BenchmarkTurnoffStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.TurnoffStudy(int64(i + 1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+// --- micro-benchmarks of the simulator's hot paths ---
+
+// BenchmarkSingleRun480 measures one paper-scale run (480 nodes, full
+// lifetime) end to end.
+func BenchmarkSingleRun480(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := peas.DefaultRunConfig(480, int64(i+1))
+		if _, err := peas.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := sim.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(float64(i%100), func() {})
+		if i%1024 == 1023 {
+			e.Run(e.Now() + 200)
+		}
+	}
+}
+
+func BenchmarkSpatialIndexWithin(b *testing.B) {
+	f := geom.NewField(50, 50)
+	rng := stats.NewRNG(1)
+	pts := geom.UniformDeploy(f, 800, rng)
+	idx := geom.NewIndex(f, pts, 3)
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		center := pts[i%len(pts)]
+		idx.Within(center, 3, func(int, float64) { count++ })
+	}
+	_ = count
+}
+
+func BenchmarkCoverageLattice(b *testing.B) {
+	f := geom.NewField(50, 50)
+	lattice := coverage.NewLattice(f, 1)
+	sensors := geom.UniformDeploy(f, 100, stats.NewRNG(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lattice.Fraction(sensors, 10, 5)
+	}
+}
+
+func BenchmarkExponentialSampling(b *testing.B) {
+	rng := stats.NewRNG(3)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rng.Exp(0.02)
+	}
+	_ = sink
+}
+
+// BenchmarkDeviationAblation regenerates the DESIGN.md §5 ablation table.
+func BenchmarkDeviationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.DeviationStudy(int64(i + 1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+// BenchmarkThreeD regenerates the §3-footnote 3-D table.
+func BenchmarkThreeD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.ThreeDStudy(int64(i + 1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+// BenchmarkGrabCheck regenerates the packet-level GRAB cross-validation.
+func BenchmarkGrabCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.GrabCheckStudy(int64(i + 1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+// BenchmarkIrregularity regenerates the §4 attenuation-irregularity table.
+func BenchmarkIrregularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.IrregularityStudy(int64(i + 1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+// BenchmarkTracking regenerates the mobile-target tracking table.
+func BenchmarkTracking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := peas.TrackingStudy(int64(i + 1))
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+// BenchmarkNetworkBoot measures deploying and booting a 480-node network
+// through the probing storm (first 100 s).
+func BenchmarkNetworkBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := peas.NewNetwork(peas.DefaultNetworkConfig(480, int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Start()
+		net.Run(100)
+	}
+}
+
+// BenchmarkSensingObserve measures one tracker observation pass.
+func BenchmarkSensingObserve(b *testing.B) {
+	f := geom.NewField(50, 50)
+	tracker := peas.NewSensingTracker(f, 10, 8, 1.5, 1)
+	working := geom.UniformDeploy(f, 120, stats.NewRNG(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracker.Observe(float64(i), working)
+	}
+}

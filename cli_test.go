@@ -1,0 +1,123 @@
+package peas_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into the test's temp dir and returns the
+// binary path. Building once per test keeps the suite hermetic.
+func buildTool(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPeasSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildTool(t, "cmd/peas-sim")
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "trace.jsonl")
+	seriesOut := filepath.Join(dir, "series.csv")
+	svgOut := filepath.Join(dir, "final.svg")
+
+	out := runTool(t, bin, "-n", "100", "-horizon", "600",
+		"-trace", traceOut, "-series", seriesOut, "-svg", svgOut)
+	for _, want := range []string{"mean working nodes", "wakeups", "energy overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, f := range []string{traceOut, seriesOut, svgOut} {
+		info, err := os.Stat(f)
+		if err != nil || info.Size() == 0 {
+			t.Errorf("artifact %s missing or empty: %v", f, err)
+		}
+	}
+
+	// Scenario file path.
+	sc := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(sc, []byte(`{"nodes":80,"horizonSec":300}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runTool(t, bin, "-config", sc)
+	if !strings.Contains(out, "80 nodes") {
+		t.Errorf("scenario not applied:\n%s", out)
+	}
+}
+
+func TestCLIPeasReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	simBin := buildTool(t, "cmd/peas-sim")
+	replayBin := buildTool(t, "cmd/peas-replay")
+	traceOut := filepath.Join(t.TempDir(), "trace.jsonl")
+	runTool(t, simBin, "-n", "80", "-horizon", "400", "-trace", traceOut)
+
+	out := runTool(t, replayBin, "-in", traceOut, "-deaths")
+	for _, want := range []string{"events spanning", "working nodes over time", "state"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIPeasBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildTool(t, "cmd/peas-bench")
+	out := runTool(t, bin, "-exp", "density")
+	if !strings.Contains(out, "Lemma 3.1") {
+		t.Errorf("bench output:\n%s", out)
+	}
+	// CSV format.
+	out = runTool(t, bin, "-exp", "density", "-format", "csv")
+	if !strings.Contains(out, "nodes,") {
+		t.Errorf("csv output:\n%s", out)
+	}
+	// JSON format.
+	out = runTool(t, bin, "-exp", "estimator", "-format", "json")
+	if !strings.Contains(out, `"columns"`) {
+		t.Errorf("json output:\n%s", out)
+	}
+}
+
+func TestCLIPeasNodeGen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildTool(t, "cmd/peas-node")
+	peers := filepath.Join(t.TempDir(), "peers.json")
+	out := runTool(t, bin, "-gen", "5", "-field", "12", "-base-port", "44100", "-peers", peers)
+	if !strings.Contains(out, "wrote 5 peers") {
+		t.Errorf("gen output:\n%s", out)
+	}
+	data, err := os.ReadFile(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "44104") {
+		t.Errorf("peer table missing last port:\n%s", data)
+	}
+}

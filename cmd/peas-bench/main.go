@@ -1,0 +1,216 @@
+// Command peas-bench regenerates the paper's evaluation: every figure and
+// table of §5 plus the §2-§4 analyses, printed as text tables.
+//
+// Usage:
+//
+//	peas-bench                  # everything, paper-scale (5 runs/point)
+//	peas-bench -exp fig9        # one experiment
+//	peas-bench -runs 1 -quick   # fast pass (1 run/point, coarser sweeps)
+//
+// Experiments: fig9 fig10 fig11 table1 fig12 fig13 fig14 estimator
+// connectivity gaps loss turnoff distribution fixedpower rpsweep boot
+// density mesh grabcheck irregularity tracking deviation threed all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"peas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "peas-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (fig9..fig14, table1, estimator, connectivity, gaps, loss, turnoff, distribution, fixedpower, rpsweep, boot, density, mesh, grabcheck, irregularity, tracking, deviation, threed, all)")
+		runs   = flag.Int("runs", 5, "independent runs per sweep point")
+		seed   = flag.Int64("seed", 1, "root seed")
+		quick  = flag.Bool("quick", false, "coarser sweeps for a fast pass")
+		format = flag.String("format", "text", "output format: text, csv, json or md")
+	)
+	flag.Parse()
+
+	emit := func(t *peas.Table) error {
+		switch *format {
+		case "text":
+			fmt.Println(t)
+			return nil
+		case "csv":
+			return t.WriteCSV(os.Stdout, true)
+		case "json":
+			return t.WriteJSON(os.Stdout)
+		case "md", "markdown":
+			return t.WriteMarkdown(os.Stdout)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+
+	opts := peas.DefaultSweepOptions()
+	opts.Runs = *runs
+	opts.Seed = *seed
+	if *quick {
+		opts.Deployments = []int{160, 480, 800}
+		opts.FailureRates = []float64{5.33, 26.66, 48}
+	}
+
+	want := func(ids ...string) bool {
+		if *exp == "all" {
+			return true
+		}
+		for _, id := range ids {
+			if strings.EqualFold(id, *exp) {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	if want("fig9", "fig10", "fig11", "table1") {
+		res, err := peas.DeploymentSweep(opts)
+		if err != nil {
+			return err
+		}
+		if want("fig9") {
+			if err := emit(res.Fig9()); err != nil {
+				return err
+			}
+		}
+		if want("fig10") {
+			if err := emit(res.Fig10()); err != nil {
+				return err
+			}
+		}
+		if want("fig11") {
+			if err := emit(res.Fig11()); err != nil {
+				return err
+			}
+		}
+		if want("table1") {
+			if err := emit(res.Table1()); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig12", "fig13", "fig14") {
+		res, err := peas.FailureSweep(opts)
+		if err != nil {
+			return err
+		}
+		if want("fig12") {
+			if err := emit(res.Fig12()); err != nil {
+				return err
+			}
+		}
+		if want("fig13") {
+			if err := emit(res.Fig13()); err != nil {
+				return err
+			}
+		}
+		if want("fig14") {
+			if err := emit(res.Fig14()); err != nil {
+				return err
+			}
+		}
+	}
+	if want("estimator") {
+		if err := emit(peas.EstimatorStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("connectivity") {
+		seeds := 5
+		if *quick {
+			seeds = 2
+		}
+		if err := emit(peas.ConnectivityStudy(seeds, opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("gaps") {
+		seeds := 3
+		if *quick {
+			seeds = 1
+		}
+		if err := emit(peas.GapStudy(seeds, opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("loss") {
+		if err := emit(peas.LossStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("turnoff") {
+		if err := emit(peas.TurnoffStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("distribution") {
+		if err := emit(peas.DeploymentDistributionStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("fixedpower") {
+		if err := emit(peas.FixedPowerStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("rpsweep") {
+		if err := emit(peas.RpSweepStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("boot") {
+		if err := emit(peas.BootStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("mesh") {
+		if err := emit(peas.MeshStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("grabcheck") {
+		if err := emit(peas.GrabCheckStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("irregularity") {
+		if err := emit(peas.IrregularityStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("tracking") {
+		if err := emit(peas.TrackingStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("deviation") {
+		if err := emit(peas.DeviationStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("threed") {
+		if err := emit(peas.ThreeDStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	if want("density") {
+		if err := emit(peas.DensityStudy(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,176 @@
+// Command peas-sim runs one PEAS simulation with the paper's setup and
+// prints the metrics: coverage lifetimes, data delivery lifetime, wakeup
+// count and energy overhead.
+//
+// Usage:
+//
+//	peas-sim -n 480 -seed 1 -failures 10.66 -horizon 0
+//
+// A horizon of 0 selects a deployment-proportional default long enough
+// for the network to exhaust itself.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"peas"
+	"peas/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "peas-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n         = flag.Int("n", 480, "number of deployed nodes")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		failures  = flag.Float64("failures", 10.66, "injected failures per 5000 s")
+		horizon   = flag.Float64("horizon", 0, "simulated seconds (0 = auto)")
+		forward   = flag.Bool("forward", true, "run the source->sink data workload")
+		rp        = flag.Float64("rp", 3, "probing range Rp in meters")
+		lambdaD   = flag.Float64("lambda-d", 0.02, "desired aggregate probing rate λd (1/s)")
+		lambda0   = flag.Float64("lambda-0", 0.1, "initial probing rate λ0 (1/s)")
+		loss      = flag.Float64("loss", 0, "extra i.i.d. packet loss rate [0,1)")
+		turnoff   = flag.Bool("turnoff", true, "enable the §4 redundant-worker turn-off")
+		traceOut  = flag.String("trace", "", "write a JSONL event trace to this file")
+		svgOut    = flag.String("svg", "", "write a final-state SVG snapshot to this file")
+		ascii     = flag.Bool("ascii", false, "print a final-state ASCII map")
+		seriesOut = flag.String("series", "", "write the working/coverage time series as CSV to this file")
+		config    = flag.String("config", "", "load a JSON scenario file (flags below still override)")
+	)
+	flag.Parse()
+
+	cfg := peas.DefaultRunConfig(*n, *seed)
+	if *config != "" {
+		sc, err := scenario.Load(*config)
+		if err != nil {
+			return err
+		}
+		cfg = sc.RunConfig()
+		*n = cfg.Network.N
+		*seed = cfg.Network.Seed
+	}
+	if *config == "" {
+		cfg.FailuresPer5000s = *failures
+		cfg.Horizon = *horizon
+		cfg.Forwarding = *forward
+		cfg.Network.Protocol.ProbingRange = *rp
+		cfg.Network.Protocol.DesiredRate = *lambdaD
+		cfg.Network.Protocol.InitialRate = *lambda0
+		cfg.Network.Protocol.TurnoffEnabled = *turnoff
+		cfg.Network.Radio.LossRate = *loss
+	}
+
+	var recorder *peas.TraceRecorder
+	if *traceOut != "" {
+		recorder = peas.NewTraceRecorder(0)
+		cfg.Trace = recorder
+	}
+	var seriesFile *os.File
+	var seriesW *csv.Writer
+	if *seriesOut != "" {
+		f, err := os.Create(*seriesOut)
+		if err != nil {
+			return fmt.Errorf("create series file: %w", err)
+		}
+		seriesFile = f
+		seriesW = csv.NewWriter(f)
+		if err := seriesW.Write([]string{"t", "working", "cov1", "cov2", "cov3", "cov4", "cov5"}); err != nil {
+			return err
+		}
+		cfg.OnSample = func(t float64, working int, byK []float64) {
+			row := make([]string, 0, 7)
+			row = append(row, strconv.FormatFloat(t, 'f', 1, 64), strconv.Itoa(working))
+			for _, v := range byK {
+				row = append(row, strconv.FormatFloat(v, 'f', 4, 64))
+			}
+			_ = seriesW.Write(row)
+		}
+	}
+
+	var snapshotErr error
+	if *svgOut != "" || *ascii {
+		cfg.OnFinish = func(net *peas.Network) {
+			if *ascii {
+				fmt.Println(peas.RenderASCII(net, 2))
+			}
+			if *svgOut != "" {
+				f, err := os.Create(*svgOut)
+				if err != nil {
+					snapshotErr = err
+					return
+				}
+				if err := peas.RenderSVG(f, net, peas.SVGOptions{
+					SensingRange: 10,
+					Title:        fmt.Sprintf("PEAS %d nodes, t=%.0f s", *n, net.Engine.Now()),
+				}); err != nil {
+					snapshotErr = err
+				}
+				if err := f.Close(); err != nil && snapshotErr == nil {
+					snapshotErr = err
+				}
+			}
+		}
+	}
+
+	res, err := peas.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if snapshotErr != nil {
+		return fmt.Errorf("snapshot: %w", snapshotErr)
+	}
+
+	if recorder != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		if err := recorder.WriteJSONL(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace:                 %d events -> %s\n", recorder.Len(), *traceOut)
+	}
+	if seriesW != nil {
+		seriesW.Flush()
+		if err := seriesW.Error(); err != nil {
+			_ = seriesFile.Close()
+			return fmt.Errorf("write series: %w", err)
+		}
+		if err := seriesFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("series:                -> %s\n", *seriesOut)
+	}
+
+	fmt.Printf("deployment:            %d nodes, seed %d\n", *n, *seed)
+	fmt.Printf("mean working nodes:    %.1f\n", res.MeanWorking)
+	for k := 3; k <= 5; k++ {
+		fmt.Printf("%d-coverage lifetime:   %.0f s (dropped=%v)\n",
+			k, res.CoverageLifetime[k-1], res.CoverageDropped[k-1])
+	}
+	if cfg.Forwarding {
+		fmt.Printf("data delivery lifetime: %.0f s (dropped=%v; %d/%d reports)\n",
+			res.DeliveryLifetime, res.DeliveryDropped, res.ReportsDelivered, res.ReportsGenerated)
+	}
+	fmt.Printf("wakeups:               %d\n", res.Wakeups)
+	fmt.Printf("energy overhead:       %.2f J of %.0f J total (%.3f%%)\n",
+		res.ProtocolEnergy, res.TotalEnergy, 100*res.OverheadRatio)
+	fmt.Printf("failures injected:     %d (%.1f%% of deployment)\n",
+		res.FailuresInjected, 100*res.FailedFraction)
+	fmt.Printf("packets:               sent=%d delivered=%d collided=%d\n",
+		res.PacketsSent, res.PacketsDelivered, res.PacketsCollided)
+	return nil
+}

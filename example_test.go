@@ -1,0 +1,76 @@
+package peas_test
+
+import (
+	"fmt"
+
+	"peas"
+)
+
+// ExampleRun executes one full evaluation run with the paper's defaults
+// and reads the headline metrics. Results are deterministic in the seed.
+func ExampleRun() {
+	cfg := peas.DefaultRunConfig(160, 1)
+	cfg.Horizon = 1000 // cap for a quick example; 0 runs to exhaustion
+
+	res, err := peas.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("plausible working set: %v\n", res.MeanWorking > 40 && res.MeanWorking < 120)
+	fmt.Printf("1-coverage after boot: %.0f%%\n", 100*res.InitialCoverage[0])
+	// Output:
+	// plausible working set: true
+	// 1-coverage after boot: 100%
+}
+
+// ExampleNewNetwork drives a simulated network directly: deploy, run,
+// and inspect the working set.
+func ExampleNewNetwork() {
+	net, err := peas.NewNetwork(peas.DefaultNetworkConfig(100, 7))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	net.Start()
+	net.Run(300)
+	fmt.Printf("alive: %d\n", net.AliveCount())
+	fmt.Printf("some nodes work, some sleep: %v\n",
+		net.WorkingCount() > 0 && net.WorkingCount() < 100)
+	// Output:
+	// alive: 100
+	// some nodes work, some sleep: true
+}
+
+// ExampleDefaultProtocolConfig shows the paper's protocol parameters and
+// how an application adapts them to its tolerance (paper §2.2.1).
+func ExampleDefaultProtocolConfig() {
+	cfg := peas.DefaultProtocolConfig()
+	fmt.Printf("Rp=%.0fm lambda0=%.1f lambdaD=%.2f k=%d probes=%d\n",
+		cfg.ProbingRange, cfg.InitialRate, cfg.DesiredRate,
+		cfg.EstimatorK, cfg.NumProbes)
+
+	// An animal tracker tolerating 5-minute gaps probes once per 300 s.
+	cfg.DesiredRate = 1.0 / 300
+	fmt.Printf("animal tracking lambdaD: %.4f\n", cfg.DesiredRate)
+	// Output:
+	// Rp=3m lambda0=0.1 lambdaD=0.02 k=32 probes=3
+	// animal tracking lambdaD: 0.0033
+}
+
+// ExampleRenderASCII draws a small deployment as a terminal map.
+func ExampleRenderASCII() {
+	cfg := peas.DefaultNetworkConfig(8, 3)
+	cfg.Field = peas.Field{Width: 8, Height: 8}
+	net, err := peas.NewNetwork(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	net.Start()
+	net.Run(200)
+	m := peas.RenderASCII(net, 4)
+	fmt.Printf("map is %d characters\n", len(m))
+	// Output:
+	// map is 12 characters
+}

@@ -1,0 +1,50 @@
+// Harsh field: PEAS's design target — an adverse environment where nodes
+// fail unexpectedly and often (paper §1: "unexpected node failures are
+// likely to become norms rather than exceptions"). This example sweeps
+// the failure rate on one deployment and shows that coverage lifetime
+// degrades only modestly while the protocol overhead stays flat — the
+// robustness result of §5.3.
+//
+//	go run ./examples/harshfield
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"peas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "harshfield:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Harsh field — 480 nodes under increasing failure rates")
+	fmt.Printf("%12s %12s %14s %12s %10s\n",
+		"failures/5ks", "failed-%", "4-cov life(s)", "wakeups", "overhead")
+
+	var baseLifetime float64
+	for _, rate := range []float64{0, 10.66, 26.66, 48} {
+		cfg := peas.DefaultRunConfig(480, 99)
+		cfg.FailuresPer5000s = rate
+		res, err := peas.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if rate == 0 {
+			baseLifetime = res.CoverageLifetime[3]
+		}
+		fmt.Printf("%12.2f %11.1f%% %14.0f %12d %9.3f%%\n",
+			rate, 100*res.FailedFraction, res.CoverageLifetime[3],
+			res.Wakeups, 100*res.OverheadRatio)
+	}
+
+	fmt.Printf("\nPEAS absorbs ~40%% node failures with a modest lifetime drop\n")
+	fmt.Printf("(failure-free 4-coverage lifetime: %.0f s); the paper reports a\n", baseLifetime)
+	fmt.Println("12-20% drop at 38% failures — robustness without extra overhead.")
+	return nil
+}

@@ -1,0 +1,57 @@
+// Tracking: watch PEAS serve its actual application — detecting mobile
+// targets. Four animals roam the field on random-waypoint trajectories
+// while PEAS maintains the working set under node failures; the example
+// reports how much of the animals' time was observed and how long the
+// blind intervals lasted, for two choices of the λd tolerance knob
+// (paper §2.2.1).
+//
+//	go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"peas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracking:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Tracking 4 animals over 240 nodes for 9000 s (5 m detection, 16 failures/5000 s)")
+	fmt.Printf("%12s %14s %10s %12s %12s\n",
+		"λd (1/s)", "detected-frac", "exposures", "mean-gap(s)", "max-gap(s)")
+
+	for _, lambdaD := range []float64{0.02, 1.0 / 300} {
+		rep, err := track(lambdaD)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%12.4f %14.3f %10d %12.1f %12.1f\n",
+			lambdaD, rep.DetectedFraction, rep.Exposures, rep.MeanExposure, rep.MaxExposure)
+	}
+	fmt.Println("\nThe application picks λd from its interruption tolerance (§2.2.1):")
+	fmt.Println("λd = 1/300 accepts 5-minute monitoring gaps in exchange for 6x less probing.")
+	return nil
+}
+
+func track(lambdaD float64) (peas.SensingReport, error) {
+	cfg := peas.DefaultNetworkConfig(240, 77)
+	cfg.Protocol.DesiredRate = lambdaD
+	net, err := peas.NewNetwork(cfg)
+	if err != nil {
+		return peas.SensingReport{}, err
+	}
+	tracker := peas.NewSensingTracker(cfg.Field, 5, 4, 1.5, 99)
+	net.Engine.NewTicker(5, func() {
+		tracker.Observe(net.Engine.Now(), net.WorkingPositions())
+	})
+	net.Start()
+	net.Run(9000)
+	return tracker.Report(), nil
+}

@@ -1,0 +1,3 @@
+module peas
+
+go 1.22

@@ -1,0 +1,156 @@
+// Package analysis provides closed-form models for the quantities the
+// paper reasons about analytically: cell occupancy (Lemma 3.1), Poisson
+// K-coverage, estimator error (the §2.2.1 CLT argument), and the
+// linear-lifetime model behind Figures 9-10. The test suite checks each
+// model against the simulator, closing the loop between the paper's
+// analysis and its evaluation.
+package analysis
+
+import (
+	"math"
+)
+
+// ExpectedEmptyCells returns E[μ0], the expected number of empty cells
+// when n points fall uniformly at random into m equal cells:
+// E[μ0] = m·(1 - 1/m)^n. Lemma 3.1 is the statement that this vanishes
+// asymptotically when c²n = k·l²·ln(l) with k > d.
+func ExpectedEmptyCells(m, n int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return float64(m) * math.Pow(1-1/float64(m), float64(n))
+}
+
+// LemmaConstant returns k = c²·n / (l²·ln l), the density constant of
+// Lemma 3.1 for an l x l field with cells of edge c.
+func LemmaConstant(c, l float64, n int) float64 {
+	if l <= 1 {
+		return math.Inf(1)
+	}
+	return c * c * float64(n) / (l * l * math.Log(l))
+}
+
+// PoissonCoverage returns the probability that a uniformly random point
+// of a large field is covered by at least k sensors, when sensors form a
+// Poisson field of the given density (sensors per square meter) with
+// sensing radius r:
+//
+//	P(N >= k),  N ~ Poisson(density · π r²)
+//
+// The paper's K-coverage percentages approach this for uniform working
+// sets away from the boundary.
+func PoissonCoverage(density, r float64, k int) float64 {
+	if density <= 0 || r <= 0 {
+		return 0
+	}
+	mean := density * math.Pi * r * r
+	// P(N >= k) = 1 - sum_{i<k} e^-mean mean^i / i!
+	sum := 0.0
+	term := math.Exp(-mean)
+	for i := 0; i < k; i++ {
+		sum += term
+		term *= mean / float64(i+1)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return 1 - sum
+}
+
+// EstimatorRelativeError returns the standard deviation of the relative
+// error of one λ̂ window with threshold k: the window sums k i.i.d.
+// exponential intervals (a Gamma(k) variable), so the measured mean
+// interval has relative standard deviation 1/sqrt(k) — the §2.2.1 CLT
+// argument.
+func EstimatorRelativeError(k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / math.Sqrt(float64(k))
+}
+
+// EstimatorConfidence returns (approximately) the probability that the
+// measured mean interval of a k-window lies within fraction eps of the
+// truth, using the normal approximation of the §2.2.1 argument:
+// P(|err| <= eps) ≈ 2Φ(eps·sqrt(k)) - 1.
+func EstimatorConfidence(k int, eps float64) float64 {
+	if k <= 0 || eps <= 0 {
+		return 0
+	}
+	z := eps * math.Sqrt(float64(k))
+	return 2*phi(z) - 1
+}
+
+// phi is the standard normal CDF.
+func phi(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// LifetimeModel is the linear system-lifetime model behind Figures 9-10:
+// the working set holds W nodes drawing idle power; the deployment's
+// total energy budget funds them in sequence.
+type LifetimeModel struct {
+	// MeanNodeEnergy is the mean initial charge in joules (paper: 57 J).
+	MeanNodeEnergy float64
+	// IdlePowerW is the working draw in watts (paper: 0.012 W).
+	IdlePowerW float64
+	// Working is the equilibrium working-set size W.
+	Working float64
+	// OverheadFraction inflates consumption for protocol overhead
+	// (Table 1: < 0.5 %).
+	OverheadFraction float64
+	// FailedFraction removes nodes whose residual energy is lost to
+	// failures (§5.3; failed nodes die with charge remaining).
+	FailedFraction float64
+	// FailureResidual is the mean fraction of a failed node's energy
+	// that is wasted (≈ uniform failure time over a lifetime: 0.5).
+	FailureResidual float64
+}
+
+// DefaultLifetimeModel returns the paper-parameterized model for the
+// given equilibrium working-set size.
+func DefaultLifetimeModel(working float64) LifetimeModel {
+	return LifetimeModel{
+		MeanNodeEnergy:   57,
+		IdlePowerW:       0.012,
+		Working:          working,
+		OverheadFraction: 0.005,
+		FailureResidual:  0.5,
+	}
+}
+
+// Lifetime returns the predicted functioning time of a deployment of n
+// nodes: available energy divided by the working set's aggregate draw.
+func (m LifetimeModel) Lifetime(n int) float64 {
+	if m.Working <= 0 || m.IdlePowerW <= 0 {
+		return 0
+	}
+	budget := float64(n) * m.MeanNodeEnergy
+	budget *= 1 - m.FailedFraction*m.FailureResidual
+	budget /= 1 + m.OverheadFraction
+	return budget / (m.Working * m.IdlePowerW)
+}
+
+// SlopePerNode returns the model's lifetime gain per additional deployed
+// node — the slope of Figures 9-10.
+func (m LifetimeModel) SlopePerNode() float64 {
+	if m.Working <= 0 || m.IdlePowerW <= 0 {
+		return 0
+	}
+	perNode := m.MeanNodeEnergy * (1 - m.FailedFraction*m.FailureResidual) /
+		(1 + m.OverheadFraction)
+	return perNode / (m.Working * m.IdlePowerW)
+}
+
+// SaturationDensity returns the jamming density of random sequential
+// adsorption of hard discs: the maximum working-node count PEAS's probing
+// rule packs into the given area when workers must be at least rp apart.
+// The RSA jamming coverage fraction for discs is ≈ 0.547.
+func SaturationDensity(area, rp float64) float64 {
+	if rp <= 0 {
+		return 0
+	}
+	const jamming = 0.547
+	discArea := math.Pi * (rp / 2) * (rp / 2)
+	return jamming * area / discArea
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"peas/internal/stats"
+)
+
+func TestEstimatorExactRate(t *testing.T) {
+	// Probes arriving exactly every 2 s: λ̂ must be exactly 0.5.
+	e := NewRateEstimator(4)
+	times := []float64{10, 12, 14, 16, 18}
+	var got float64
+	var done bool
+	for _, ts := range times {
+		got, done = e.Observe(ts)
+	}
+	if !done {
+		t.Fatal("window should complete at the 5th probe (k=4 intervals)")
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("λ̂ = %v, want 0.5", got)
+	}
+	if e.Estimate() != got || e.Windows() != 1 {
+		t.Errorf("estimate %v windows %d", e.Estimate(), e.Windows())
+	}
+}
+
+func TestEstimatorWindowRestart(t *testing.T) {
+	e := NewRateEstimator(2)
+	e.Observe(0) // opens window
+	e.Observe(1)
+	if _, done := e.Observe(2); !done {
+		t.Fatal("first window")
+	}
+	// Second window: probes at 2 (restart anchor), 4, 6 -> rate 0.5.
+	e.Observe(4)
+	got, done := e.Observe(6)
+	if !done || math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("second window λ̂ = %v done=%v", got, done)
+	}
+	if e.Windows() != 2 {
+		t.Errorf("windows = %d", e.Windows())
+	}
+}
+
+func TestEstimatorPoissonAccuracy(t *testing.T) {
+	// §2.2.1: with k >= 16, the measured mean interval is within 1% of
+	// the truth with >99% confidence. Verify the k=32 estimator lands
+	// within a few percent almost always.
+	rng := stats.NewRNG(5)
+	const (
+		trueRate = 0.02
+		trials   = 1000
+	)
+	bad := 0
+	for trial := 0; trial < trials; trial++ {
+		e := NewRateEstimator(32)
+		now := 0.0
+		var got float64
+		for done := false; !done; {
+			now += rng.Exp(trueRate)
+			got, done = e.Observe(now)
+		}
+		if math.Abs(got-trueRate)/trueRate > 0.5 {
+			bad++
+		}
+	}
+	// Relative error of λ̂ over one k=32 window is ~1/sqrt(32) ≈ 18%;
+	// errors beyond 50% sit ~2-3σ out, so they stay below ~5% of trials.
+	if bad > trials/20 {
+		t.Errorf("%d/%d windows off by more than 50%%", bad, trials)
+	}
+}
+
+func TestEstimatorUnbiasedOnMeanInterval(t *testing.T) {
+	// The paper estimates via the mean interval T_a = 1/λ; check that
+	// 1/λ̂ averages to the true mean interval.
+	rng := stats.NewRNG(9)
+	const trueRate = 0.1
+	var sumInterval float64
+	const trials = 3000
+	for trial := 0; trial < trials; trial++ {
+		e := NewRateEstimator(32)
+		now := 0.0
+		var got float64
+		for done := false; !done; {
+			now += rng.Exp(trueRate)
+			got, done = e.Observe(now)
+		}
+		sumInterval += 1 / got
+	}
+	mean := sumInterval / trials
+	if math.Abs(mean-10) > 0.2 {
+		t.Errorf("mean measured interval = %v, want ≈ 10", mean)
+	}
+}
+
+func TestEstimatorSimultaneousArrivals(t *testing.T) {
+	e := NewRateEstimator(2)
+	e.Observe(5)
+	e.Observe(5)
+	if _, done := e.Observe(5); done {
+		t.Error("zero-elapsed window must not publish an estimate")
+	}
+	if e.Estimate() != 0 {
+		t.Errorf("estimate = %v, want 0", e.Estimate())
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	e := NewRateEstimator(2)
+	e.Observe(0)
+	e.Observe(1)
+	e.Observe(2)
+	e.Reset()
+	if e.Estimate() != 0 || e.Windows() != 0 {
+		t.Error("reset did not clear state")
+	}
+	if got := e.Report(100); got != 0 {
+		t.Errorf("report after reset = %v", got)
+	}
+}
+
+func TestEstimatorDefaultK(t *testing.T) {
+	e := NewRateEstimator(0)
+	if e.k != DefaultEstimatorK {
+		t.Errorf("k = %d, want default %d", e.k, DefaultEstimatorK)
+	}
+}
+
+func TestReportBoundsStaleEstimate(t *testing.T) {
+	// A window completed at a high rate; then probes stop. Report must
+	// decay toward zero instead of repeating the stale estimate — this
+	// is what prevents the Adaptive Sleeping death spiral.
+	e := NewRateEstimator(2)
+	e.Observe(0)
+	e.Observe(0.5)
+	e.Observe(1.0) // λ̂ = 2.0, new window opens at t=1
+	if e.Estimate() != 2.0 {
+		t.Fatalf("estimate = %v", e.Estimate())
+	}
+	// Shortly after, the stale estimate is still reported (the running
+	// bound is larger).
+	if got := e.Report(1.1); got != 2.0 {
+		t.Errorf("fresh report = %v, want 2.0", got)
+	}
+	// Long after, with no probes, the bound takes over: (0+1)/(100-1).
+	got := e.Report(100)
+	want := 1.0 / 99
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("stale report = %v, want %v", got, want)
+	}
+}
+
+func TestReportBeforeFirstWindow(t *testing.T) {
+	e := NewRateEstimator(32)
+	if e.Report(10) != 0 {
+		t.Error("no probes at all: report must be 0")
+	}
+	e.Observe(0)
+	if e.Report(5) != 0 {
+		t.Error("one probe: report must still be 0 (needs n >= 2)")
+	}
+	e.Observe(1)
+	e.Observe(2)
+	got := e.Report(4)
+	want := 3.0 / 4 // (n=2 + 1) / (4 - 0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("early report = %v, want %v", got, want)
+	}
+}
+
+func TestReportNeverExceedsCompletedEstimate(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		e := NewRateEstimator(8)
+		now := 0.0
+		for i := 0; i < 50; i++ {
+			now += rng.Exp(0.5)
+			e.Observe(now)
+		}
+		if e.Estimate() == 0 {
+			return true
+		}
+		// At any later time, the report is bounded by the estimate.
+		for _, dt := range []float64{0.1, 1, 10, 1000} {
+			if e.Report(now+dt) > e.Estimate() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}

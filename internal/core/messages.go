@@ -1,0 +1,32 @@
+package core
+
+// NodeID identifies a PEAS node. It matches radio.NodeID in the simulator
+// and the peer index in the live runtime.
+type NodeID int
+
+// Probe is the PROBE message a newly woken node broadcasts within its
+// probing range Rp to discover whether any working node is present (§2.1).
+type Probe struct {
+	From NodeID
+	// Seq distinguishes the NumProbes copies of one wakeup so a working
+	// node can rate-estimate on wakeups rather than raw frames.
+	Seq int
+}
+
+// Reply is the REPLY a working node sends back within Rp. It piggybacks
+// the Adaptive Sleeping feedback (§2.2) and the working-duration used by
+// the §4 turn-off extension.
+type Reply struct {
+	From NodeID
+	// RateEstimate is λ̂, the working node's most recent measurement of
+	// the aggregate probing rate of its sleeping neighbors. Zero means
+	// the node has not completed a measurement yet; probers then leave
+	// their rate unchanged.
+	RateEstimate float64
+	// DesiredRate is λd as configured at the working node.
+	DesiredRate float64
+	// TimeWorking is how long the sender has been in the Working mode,
+	// in seconds (§4: longer-working nodes may turn off younger ones,
+	// not vice versa).
+	TimeWorking float64
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+
+	"peas/internal/stats"
+)
+
+// State is a PEAS node operation mode (paper Figure 1), plus the terminal
+// Dead state a node enters on energy depletion or injected failure.
+type State int
+
+// Operation modes.
+const (
+	Sleeping State = iota + 1
+	Probing
+	Working
+	Dead
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Sleeping:
+		return "sleeping"
+	case Probing:
+		return "probing"
+	case Working:
+		return "working"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Platform is the environment a Protocol instance runs in. The simulator
+// and the live runtime provide implementations; both must invoke all
+// Protocol methods and After callbacks from a single logical thread per
+// node network (the simulator is single-threaded; peasnet serializes per
+// network).
+type Platform interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// After schedules fn once, d seconds from now. Callbacks must not
+	// run concurrently with message delivery.
+	After(d float64, fn func())
+	// Broadcast transmits payload so it covers radius meters, in a frame
+	// of size bytes.
+	Broadcast(size int, radius float64, payload any)
+	// SetState informs the platform of a mode change so it can adjust
+	// radio power state and battery mode.
+	SetState(s State)
+	// Rand returns the node's private random stream.
+	Rand() *stats.RNG
+}
+
+// Stats are cumulative per-node protocol counters.
+type Stats struct {
+	Wakeups      uint64 // probe rounds begun
+	ProbesSent   uint64 // PROBE frames transmitted
+	RepliesSent  uint64 // REPLY frames transmitted
+	RepliesHeard uint64 // REPLYs received while probing
+	RateUpdates  uint64 // Adaptive Sleeping rate adjustments applied
+	Turnoffs     uint64 // times this node slept via the §4 extension
+	TimeWorking  float64
+	TimeSleeping float64
+	TimeProbing  float64
+}
+
+// Protocol is the per-node PEAS state machine. It keeps no per-neighbor
+// state: a sleeping/probing node holds only its rate λ; a working node
+// holds only the two-field rate estimator.
+type Protocol struct {
+	id       NodeID
+	cfg      Config
+	platform Platform
+
+	state        State
+	stateSince   float64
+	gen          uint64 // invalidates stale After callbacks
+	lambda       float64
+	estimator    *RateEstimator
+	workStart    float64
+	heard        []Reply // REPLYs collected during the current probe window
+	replyPending bool    // a REPLY broadcast is already scheduled
+	stats        Stats
+}
+
+// New returns a Protocol for node id. cfg must have been validated; New
+// validates again defensively and panics on error, since an invalid
+// config here is a programming error in the platform layer.
+func New(id NodeID, cfg Config, platform Platform) *Protocol {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Protocol{
+		id:        id,
+		cfg:       cfg,
+		platform:  platform,
+		state:     Sleeping,
+		lambda:    cfg.InitialRate,
+		estimator: NewRateEstimator(cfg.EstimatorK),
+	}
+}
+
+// ID returns the node identifier.
+func (p *Protocol) ID() NodeID { return p.id }
+
+// State returns the current operation mode.
+func (p *Protocol) State() State { return p.state }
+
+// Rate returns the node's current probing rate λ.
+func (p *Protocol) Rate() float64 { return p.lambda }
+
+// Stats returns a copy of the node's counters, with the time-in-state
+// accumulators settled up to the current instant.
+func (p *Protocol) Stats() Stats {
+	s := p.stats
+	dt := p.platform.Now() - p.stateSince
+	switch p.state {
+	case Working:
+		s.TimeWorking += dt
+	case Sleeping:
+		s.TimeSleeping += dt
+	case Probing:
+		s.TimeProbing += dt
+	}
+	return s
+}
+
+// TimeWorking returns how long the node has been in Working mode, or 0
+// when it is not working. REPLYs carry this value for the §4 extension.
+func (p *Protocol) TimeWorking() float64 {
+	if p.state != Working {
+		return 0
+	}
+	return p.platform.Now() - p.workStart
+}
+
+// Start boots the node: it enters Sleeping mode and schedules its first
+// wakeup from the exponential distribution with rate λ0.
+func (p *Protocol) Start() {
+	p.enter(Sleeping)
+	p.scheduleWakeup()
+}
+
+// Fail transitions the node to Dead immediately, modelling energy
+// depletion or an injected failure. All pending callbacks become no-ops.
+func (p *Protocol) Fail() {
+	if p.state == Dead {
+		return
+	}
+	p.enter(Dead)
+}
+
+// enter performs the bookkeeping common to all transitions.
+func (p *Protocol) enter(s State) {
+	now := p.platform.Now()
+	dt := now - p.stateSince
+	switch p.state {
+	case Working:
+		p.stats.TimeWorking += dt
+	case Sleeping:
+		p.stats.TimeSleeping += dt
+	case Probing:
+		p.stats.TimeProbing += dt
+	}
+	p.state = s
+	p.stateSince = now
+	p.gen++
+	p.replyPending = false
+	p.platform.SetState(s)
+}
+
+// after schedules fn guarded by the current generation: if the node has
+// transitioned since, the callback does nothing.
+func (p *Protocol) after(d float64, fn func()) {
+	gen := p.gen
+	p.platform.After(d, func() {
+		if p.gen == gen && p.state != Dead {
+			fn()
+		}
+	})
+}
+
+func (p *Protocol) scheduleWakeup() {
+	ts := p.platform.Rand().Exp(p.lambda)
+	p.after(ts, p.wake)
+}
+
+// wake begins a probe round (Sleeping -> Probing in Figure 1).
+func (p *Protocol) wake() {
+	p.stats.Wakeups++
+	p.heard = p.heard[:0]
+	p.enter(Probing)
+
+	// First PROBE immediately; the remaining copies are spread uniformly
+	// over the first half of the window so their REPLYs still fit (§4:
+	// "these multiple messages are randomly spread over a small time
+	// interval to reduce collisions").
+	p.sendProbe(0)
+	for i := 1; i < p.cfg.NumProbes; i++ {
+		seq := i
+		delay := p.platform.Rand().Uniform(0, p.cfg.ProbeWindow/2)
+		p.after(delay, func() { p.sendProbe(seq) })
+	}
+	p.after(p.cfg.ProbeWindow, p.endProbe)
+}
+
+func (p *Protocol) sendProbe(seq int) {
+	p.stats.ProbesSent++
+	p.platform.Broadcast(p.cfg.PacketSize, p.cfg.ProbingRange, Probe{From: p.id, Seq: seq})
+}
+
+// endProbe closes the probe window: hearing at least one REPLY sends the
+// node back to sleep with an adapted rate; silence promotes it to Working.
+func (p *Protocol) endProbe() {
+	if len(p.heard) == 0 {
+		p.startWorking()
+		return
+	}
+	p.adaptRate()
+	p.enter(Sleeping)
+	p.scheduleWakeup()
+}
+
+// adaptRate applies the Adaptive Sleeping update λ <- λ·λd/λ̂ using the
+// REPLY with the largest measurement, which yields the lowest probing rate
+// (§4: a prober with several working neighbors is not critical to
+// replacing any one of them).
+func (p *Protocol) adaptRate() {
+	var best Reply
+	for _, r := range p.heard {
+		if r.RateEstimate > best.RateEstimate {
+			best = r
+		}
+	}
+	if best.RateEstimate <= 0 {
+		// No working neighbor has completed a measurement yet; keep λ.
+		return
+	}
+	desired := best.DesiredRate
+	if desired <= 0 {
+		desired = p.cfg.DesiredRate
+	}
+	p.lambda = clamp(p.lambda*desired/best.RateEstimate, p.cfg.MinRate, p.cfg.MaxRate)
+	p.stats.RateUpdates++
+}
+
+func (p *Protocol) startWorking() {
+	p.enter(Working)
+	p.workStart = p.platform.Now()
+	p.estimator.Reset()
+}
+
+// HandleMessage dispatches a received frame. dist is the measured distance
+// to the transmitter; the radio layer guarantees dist <= Rp for delivered
+// PROBE/REPLY frames.
+func (p *Protocol) HandleMessage(payload any, dist float64) {
+	switch msg := payload.(type) {
+	case Probe:
+		p.onProbe(msg)
+	case Reply:
+		p.onReply(msg)
+	}
+	_ = dist
+}
+
+func (p *Protocol) onProbe(msg Probe) {
+	if p.state != Working {
+		return // only working nodes respond to PROBEs
+	}
+	if msg.Seq == 0 {
+		// Rate-estimate on wakeups, not on retransmitted copies: the
+		// aggregate Poisson process of §2.2.1 is the process of wakeup
+		// events. Retransmissions still trigger REPLYs below.
+		p.estimator.Observe(p.platform.Now())
+	}
+	// A REPLY is a broadcast heard by every prober within Rp, so one
+	// pending REPLY answers every PROBE copy and every concurrent
+	// prober; coalescing keeps the channel usable during the boot-up
+	// probing storm. The random backoff reduces REPLY collisions when
+	// several workers hear the same PROBE (§2.1).
+	if p.replyPending {
+		return
+	}
+	p.replyPending = true
+	jitter := p.platform.Rand().Uniform(0, p.cfg.ReplyJitterMax)
+	p.after(jitter, func() {
+		p.replyPending = false
+		if p.state != Working {
+			return
+		}
+		p.stats.RepliesSent++
+		estimate := p.estimator.Report(p.platform.Now())
+		if p.cfg.StaleEstimates {
+			estimate = p.estimator.Estimate()
+		}
+		p.platform.Broadcast(p.cfg.PacketSize, p.cfg.ProbingRange, Reply{
+			From:         p.id,
+			RateEstimate: estimate,
+			DesiredRate:  p.cfg.DesiredRate,
+			TimeWorking:  p.TimeWorking(),
+		})
+	})
+}
+
+func (p *Protocol) onReply(msg Reply) {
+	switch p.state {
+	case Probing:
+		p.stats.RepliesHeard++
+		p.heard = append(p.heard, msg)
+	case Working:
+		if !p.cfg.TurnoffEnabled || msg.From == p.id {
+			return
+		}
+		// §4 extension: two working nodes within Rp of each other are
+		// redundant; the younger one yields so routing state on the
+		// elder stays stable.
+		if p.TimeWorking() < msg.TimeWorking {
+			p.stats.Turnoffs++
+			p.enter(Sleeping)
+			p.scheduleWakeup()
+		}
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

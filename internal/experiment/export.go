@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the table as CSV: a header row then the data rows.
+// Notes and the caption are emitted as comment-like trailing rows only
+// when includeNotes is set.
+func (t *Table) WriteCSV(w io.Writer, includeNotes bool) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return fmt.Errorf("csv header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("csv row %d: %w", i, err)
+		}
+	}
+	if includeNotes {
+		for _, n := range t.Notes {
+			if err := cw.Write([]string{"# " + n}); err != nil {
+				return fmt.Errorf("csv note: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown writes the table as GitHub-flavored markdown, the format
+// EXPERIMENTS.md uses.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b []byte
+	b = append(b, "### "...)
+	b = append(b, t.Caption...)
+	b = append(b, "\n\n|"...)
+	for _, h := range t.Headers {
+		b = append(b, ' ')
+		b = append(b, h...)
+		b = append(b, " |"...)
+	}
+	b = append(b, "\n|"...)
+	for range t.Headers {
+		b = append(b, "---|"...)
+	}
+	b = append(b, '\n')
+	for _, row := range t.Rows {
+		b = append(b, '|')
+		for _, cell := range row {
+			b = append(b, ' ')
+			b = append(b, cell...)
+			b = append(b, " |"...)
+		}
+		b = append(b, '\n')
+	}
+	for _, n := range t.Notes {
+		b = append(b, "\n> "...)
+		b = append(b, n...)
+		b = append(b, '\n')
+	}
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	return err
+}
+
+// tableJSON is the serialized form of a Table.
+type tableJSON struct {
+	Caption string              `json:"caption"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+	Notes   []string            `json:"notes,omitempty"`
+}
+
+// WriteJSON writes the table as a JSON document with one object per row,
+// keyed by column name.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := tableJSON{
+		Caption: t.Caption,
+		Columns: t.Headers,
+		Notes:   t.Notes,
+		Rows:    make([]map[string]string, 0, len(t.Rows)),
+	}
+	for _, row := range t.Rows {
+		obj := make(map[string]string, len(row))
+		for i, cell := range row {
+			if i < len(t.Headers) {
+				obj[t.Headers[i]] = cell
+			}
+		}
+		doc.Rows = append(doc.Rows, obj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exportTable() *Table {
+	t := &Table{
+		Caption: "test table",
+		Headers: []string{"nodes", "lifetime"},
+	}
+	t.AddRow("160", "4835")
+	t.AddRow("320", "10910")
+	t.AddNote("a note")
+	return t
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := exportTable().WriteCSV(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(strings.ReplaceAll(b.String(), "# ", "")))
+	r.FieldsPerRecord = -1 // note rows have a single field
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 2 rows + note
+		t.Fatalf("rows = %d:\n%s", len(rows), b.String())
+	}
+	if rows[0][0] != "nodes" || rows[1][0] != "160" || rows[2][1] != "10910" {
+		t.Errorf("csv content: %v", rows)
+	}
+}
+
+func TestWriteCSVWithoutNotes(t *testing.T) {
+	var b strings.Builder
+	if err := exportTable().WriteCSV(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "a note") {
+		t.Error("notes leaked into note-free CSV")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := exportTable().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Caption string              `json:"caption"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+		Notes   []string            `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Caption != "test table" || len(doc.Rows) != 2 || len(doc.Notes) != 1 {
+		t.Errorf("json doc: %+v", doc)
+	}
+	if doc.Rows[0]["nodes"] != "160" || doc.Rows[1]["lifetime"] != "10910" {
+		t.Errorf("json rows: %+v", doc.Rows)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := exportTable().WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### test table", "| nodes | lifetime |", "|---|---|", "| 160 | 4835 |", "> a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

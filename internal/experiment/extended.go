@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"peas/internal/connectivity"
+	"peas/internal/coverage"
+	"peas/internal/geom"
+	"peas/internal/node"
+	"peas/internal/stats"
+)
+
+// DeploymentDistributionStudy explores §4's "Distribution of deployed
+// nodes": uniform, even (grid with jitter) and clustered deployments of
+// the same population, comparing coverage lifetime. The paper argues
+// "evenly deployed nodes will work longer than those deployed
+// irregularly".
+func DeploymentDistributionStudy(rootSeed int64) *Table {
+	t := &Table{
+		Caption: "§4: deployment distribution vs. coverage lifetime (480 nodes)",
+		Headers: []string{"distribution", "1-cov life(s)", "4-cov life(s)", "mean-working"},
+	}
+	const runs = 3
+	type gen func(field geom.Field, n int, rng *stats.RNG) []geom.Point
+	cases := []struct {
+		name string
+		gen  gen
+	}{
+		{"grid+jitter", func(f geom.Field, n int, rng *stats.RNG) []geom.Point {
+			return geom.GridDeploy(f, n, 1.0, rng)
+		}},
+		{"uniform", func(f geom.Field, n int, rng *stats.RNG) []geom.Point {
+			return geom.UniformDeploy(f, n, rng)
+		}},
+		{"clustered", func(f geom.Field, n int, rng *stats.RNG) []geom.Point {
+			return geom.ClusterDeploy(f, n, 8, 6, rng)
+		}},
+	}
+	for ci, c := range cases {
+		var life1, life4, working float64
+		for r := 0; r < runs; r++ {
+			cfg := node.DefaultConfig(480, derivedSeed(rootSeed, 600+ci, r))
+			rng := stats.NewRNG(cfg.Seed)
+			cfg.Positions = c.gen(cfg.Field, cfg.N, rng)
+			rs, err := Run(RunConfig{
+				Network:          cfg,
+				FailuresPer5000s: BaseFailuresPer5000,
+			})
+			if err != nil {
+				continue
+			}
+			life1 += rs.CoverageLifetime[0]
+			life4 += rs.CoverageLifetime[3]
+			working += rs.MeanWorking
+		}
+		t.AddRow(c.name, fsec(life1/runs), fsec(life4/runs),
+			fmt.Sprintf("%.1f", working/runs))
+	}
+	t.AddNote("§4: uneven deployments die earlier because sparse regions " +
+		"exhaust their local redundancy first; even deployment works longest")
+	return t
+}
+
+// FixedPowerStudy reproduces §4's fixed-transmission-power mode: every
+// frame is transmitted at full power (10 m) and receivers filter by
+// signal-strength threshold equivalent to Rp. The working density and
+// coverage should match the variable-power mode; the energy overhead is
+// higher because every PROBE/REPLY burns full transmit power.
+func FixedPowerStudy(rootSeed int64) *Table {
+	t := &Table{
+		Caption: "§4: variable vs. fixed transmission power (480 nodes, t=1200 s)",
+		Headers: []string{"power mode", "mean-working", "1-cov@1200s", "overhead"},
+	}
+	const runs = 3
+	for _, fixed := range []bool{false, true} {
+		name := "variable"
+		if fixed {
+			name = "fixed+threshold"
+		}
+		var working, cov, overhead float64
+		for r := 0; r < runs; r++ {
+			cfg := node.DefaultConfig(480, derivedSeed(rootSeed, 700, r))
+			cfg.Radio.FixedPower = fixed
+			rs, err := Run(RunConfig{Network: cfg, Horizon: 1200})
+			if err != nil {
+				continue
+			}
+			working += rs.MeanWorking
+			cov += rs.InitialCoverage[0]
+			overhead += rs.OverheadRatio
+		}
+		t.AddRow(name, fmt.Sprintf("%.1f", working/runs),
+			ffloat(cov/runs), fpct(overhead/runs))
+	}
+	t.AddNote("the threshold filter preserves the probing semantics, so the " +
+		"working set is equivalent; fixed power pays more energy per frame")
+	return t
+}
+
+// RpSweepStudy varies the probing range Rp and checks both the working
+// density tradeoff (§2.1: Rp sets the redundancy) and the Theorem 3.1
+// connectivity condition Rt >= (1+√5)·Rp: with Rt = 10 m the condition
+// holds up to Rp ≈ 3.09 m; larger probing ranges risk a partitioned
+// working set.
+func RpSweepStudy(rootSeed int64) *Table {
+	t := &Table{
+		Caption: "§2.1/§3: probing range Rp vs. density and connectivity (480 nodes, t=600 s)",
+		Headers: []string{"Rp(m)", "(1+√5)Rp", "cond holds", "mean-working", "components@Rt=10", "4-cov"},
+	}
+	const runs = 3
+	for _, rp := range []float64{2, 2.5, 3, 4, 5, 6} {
+		bound := connectivity.SeparationBound * rp
+		holds := bound <= 10
+		var working, components, cov4 float64
+		for r := 0; r < runs; r++ {
+			cfg := node.DefaultConfig(480, derivedSeed(rootSeed, 800, r))
+			cfg.Protocol.ProbingRange = rp
+			net, err := node.NewNetwork(cfg)
+			if err != nil {
+				continue
+			}
+			net.Start()
+			net.Run(600)
+			a := connectivity.Analyze(net.Field, net.WorkingPositions(), 10)
+			working += float64(a.Working)
+			components += float64(a.Components)
+			cov4 += coverageAt(net, 4)
+		}
+		t.AddRow(fmt.Sprintf("%.1f", rp), fmt.Sprintf("%.2f", bound),
+			fmt.Sprint(holds), fmt.Sprintf("%.1f", working/runs),
+			fmt.Sprintf("%.1f", components/runs), ffloat(cov4/runs))
+	}
+	t.AddNote("larger Rp thins the working set: fewer workers, less " +
+		"redundancy, and beyond the Theorem 3.1 bound the working graph can " +
+		"partition even though sleepers would bridge the gaps")
+	return t
+}
+
+// coverageAt samples the K-coverage fraction of net's current working set
+// on a coarse (2 m) lattice.
+func coverageAt(net *node.Network, k int) float64 {
+	lattice := coverage.NewLattice(net.Field, 2)
+	return lattice.FractionK(net.WorkingPositions(), SensingRange, k)
+}
+
+// BootStudy reproduces §2.1's boot-up discussion: "the initial value of λ
+// decides how quickly the network acquires enough number of working nodes
+// during the boot-up phase". For each λ0 it measures the time until the
+// application's density requirement — 90% 4-coverage, as in §5.2 — is
+// first met.
+func BootStudy(rootSeed int64) *Table {
+	t := &Table{
+		Caption: "§2.1: initial probing rate λ0 vs. boot-up time (480 nodes)",
+		Headers: []string{"λ0 (1/s)", "t to 90% 4-coverage (s)", "workers @ t"},
+	}
+	for _, lambda0 := range []float64{0.012, 0.05, 0.1, 0.3} {
+		cfg := node.DefaultConfig(480, derivedSeed(rootSeed, 900, 0))
+		cfg.Protocol.InitialRate = lambda0
+		net, err := node.NewNetwork(cfg)
+		if err != nil {
+			continue
+		}
+		lattice := coverage.NewLattice(cfg.Field, 2)
+		bootT := math.NaN()
+		workers := 0
+		net.Engine.NewTicker(5, func() {
+			if !math.IsNaN(bootT) {
+				return
+			}
+			if lattice.FractionK(net.WorkingPositions(), SensingRange, 4) >= 0.9 {
+				bootT = net.Engine.Now()
+				workers = net.WorkingCount()
+				net.Engine.Stop()
+			}
+		})
+		net.Start()
+		net.Run(2000)
+		cell := "never"
+		if !math.IsNaN(bootT) {
+			cell = fsec(bootT)
+		}
+		t.AddRow(ffloat(lambda0), cell, fmt.Sprint(workers))
+	}
+	t.AddNote("paper: λ0 = 0.012 wakes 50%% of nodes within the first minute; " +
+		"the evaluation uses λ0 = 0.1 'so that the number of working nodes " +
+		"quickly stabilizes'")
+	return t
+}
+
+// DensityStudy checks Lemma 3.1's premise empirically: with n nodes
+// uniformly deployed on an l x l field split into c x c cells (c = Rp),
+// how many cells are empty? The lemma requires c²n ≈ k·l²·ln(l) with
+// k > 2 for asymptotically-all-cells-occupied.
+func DensityStudy(rootSeed int64) *Table {
+	t := &Table{
+		Caption: "§3 (Lemma 3.1): empty Rp-cells vs. deployment size (50x50 m, c = 3 m)",
+		Headers: []string{"nodes", "k = c²n/(l²·ln l)", "empty cells", "of"},
+	}
+	const (
+		l = 50.0
+		c = 3.0
+	)
+	cols := int(math.Ceil(l / c))
+	rng := stats.NewRNG(rootSeed)
+	for _, n := range []int{160, 320, 480, 640, 800, 1600} {
+		k := c * c * float64(n) / (l * l * math.Log(l))
+		// Average empty-cell count over a few deployments.
+		const runs = 5
+		empty := 0
+		for r := 0; r < runs; r++ {
+			pts := geom.UniformDeploy(geom.NewField(l, l), n, rng)
+			occupied := make([]bool, cols*cols)
+			for _, p := range pts {
+				ci := int(p.X / c)
+				ri := int(p.Y / c)
+				if ci >= cols {
+					ci = cols - 1
+				}
+				if ri >= cols {
+					ri = cols - 1
+				}
+				occupied[ri*cols+ci] = true
+			}
+			for _, o := range occupied {
+				if !o {
+					empty++
+				}
+			}
+		}
+		t.AddRow(fmt.Sprint(n), fmt.Sprintf("%.2f", k),
+			fmt.Sprintf("%.1f", float64(empty)/runs), fmt.Sprint(cols*cols))
+	}
+	t.AddNote("Lemma 3.1: E[empty cells] -> 0 when k > d = 2; at this field " +
+		"size the expected count is already near zero once k approaches 2")
+	return t
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"testing"
+
+	"peas/internal/node"
+	"peas/internal/trace"
+)
+
+func TestRunHooks(t *testing.T) {
+	recorder := trace.NewRecorder(0)
+	samples := 0
+	var lastWorking int
+	finished := false
+	cfg := RunConfig{
+		Network: node.DefaultConfig(60, 51),
+		Horizon: 300,
+		Trace:   recorder,
+		OnSample: func(ts float64, working int, byK []float64) {
+			samples++
+			lastWorking = working
+			if len(byK) != MaxCoverageK {
+				t.Errorf("byK has %d entries", len(byK))
+			}
+		},
+		OnFinish: func(net *node.Network) {
+			finished = true
+			if net.Engine.Now() != 300 {
+				t.Errorf("OnFinish at t=%v", net.Engine.Now())
+			}
+		},
+	}
+	rs, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sample at t=0 plus one per CoverageInterval.
+	want := 1 + int(300/CoverageInterval)
+	if samples != want {
+		t.Errorf("samples = %d, want %d", samples, want)
+	}
+	if lastWorking <= 0 {
+		t.Error("no working nodes in final sample")
+	}
+	if !finished {
+		t.Error("OnFinish not called")
+	}
+	if recorder.Len() == 0 {
+		t.Error("trace recorder captured nothing")
+	}
+	if s := recorder.Summarize(); s.ByKind[trace.KindState] == 0 {
+		t.Error("no state events traced")
+	}
+	if rs.Wakeups == 0 {
+		t.Error("run produced no wakeups")
+	}
+}
+
+// TestRunTraceChainsAllDeadStop verifies the trace hook does not break
+// the early-exit-when-exhausted logic that is installed on OnDeath.
+func TestRunTraceChainsAllDeadStop(t *testing.T) {
+	recorder := trace.NewRecorder(0)
+	cfg := RunConfig{
+		Network:          node.DefaultConfig(30, 53),
+		FailuresPer5000s: 5000 * 10, // ~10 failures/s: exhausts quickly
+		Horizon:          5000,
+		Trace:            recorder,
+	}
+	rs, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.AllDeadAt >= 5000 {
+		t.Errorf("network should exhaust early, AllDeadAt=%v", rs.AllDeadAt)
+	}
+	deaths := recorder.Summarize().ByKind[trace.KindDeath]
+	if deaths != 30 {
+		t.Errorf("trace saw %d deaths, want 30", deaths)
+	}
+}

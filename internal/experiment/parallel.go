@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"peas/internal/stats"
+)
+
+// runGrid executes do(point, run) for every pair on up to parallel worker
+// goroutines and returns the results indexed as [point][run]. Each run is
+// an independent simulation with its own derived seed, so parallel
+// execution is exactly as deterministic as sequential execution. The
+// first error aborts scheduling of remaining work.
+func runGrid(points, runs, parallel int, do func(point, run int) (*RunStats, error)) ([][]*RunStats, error) {
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if parallel > points*runs {
+		parallel = points * runs
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+
+	out := make([][]*RunStats, points)
+	for i := range out {
+		out[i] = make([]*RunStats, runs)
+	}
+
+	type job struct{ point, run int }
+	jobs := make(chan job)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rs, err := do(j.point, j.run)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("point %d run %d: %w", j.point, j.run, err)
+				}
+				out[j.point][j.run] = rs
+				mu.Unlock()
+			}
+		}()
+	}
+	for p := 0; p < points; p++ {
+		for r := 0; r < runs; r++ {
+			mu.Lock()
+			abort := firstErr != nil
+			mu.Unlock()
+			if abort {
+				break
+			}
+			jobs <- job{point: p, run: r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out, firstErr
+}
+
+// aggregateDeployment folds one deployment point's runs into a mean point
+// with 95% confidence half-widths on the headline metrics.
+func aggregateDeployment(n int, runs []*RunStats) DeploymentPoint {
+	var pt DeploymentPoint
+	pt.N = n
+	var cov4s, delivs []float64
+	count := 0
+	for _, rs := range runs {
+		if rs == nil {
+			continue
+		}
+		count++
+		cov4s = append(cov4s, rs.CoverageLifetime[3])
+		delivs = append(delivs, rs.DeliveryLifetime)
+		for k := 0; k < MaxCoverageK; k++ {
+			pt.CoverageLifetime[k] += rs.CoverageLifetime[k]
+		}
+		pt.DeliveryLifetime += rs.DeliveryLifetime
+		pt.Wakeups += float64(rs.Wakeups)
+		pt.ProtocolEnergy += rs.ProtocolEnergy
+		pt.TotalEnergy += rs.TotalEnergy
+		pt.OverheadRatio += rs.OverheadRatio
+		pt.MeanWorking += rs.MeanWorking
+		pt.FailedFraction += rs.FailedFraction
+	}
+	if count == 0 {
+		return pt
+	}
+	div := float64(count)
+	for k := 0; k < MaxCoverageK; k++ {
+		pt.CoverageLifetime[k] /= div
+	}
+	pt.DeliveryLifetime /= div
+	pt.Wakeups /= div
+	pt.ProtocolEnergy /= div
+	pt.TotalEnergy /= div
+	pt.OverheadRatio /= div
+	pt.MeanWorking /= div
+	pt.FailedFraction /= div
+	pt.Coverage4CI = stats.CI95(cov4s)
+	pt.DeliveryCI = stats.CI95(delivs)
+	return pt
+}
+
+// aggregateFailure folds one failure-rate point's runs into a mean point.
+func aggregateFailure(rate float64, runs []*RunStats) FailurePoint {
+	var pt FailurePoint
+	pt.RatePer5000 = rate
+	var cov4s, delivs []float64
+	count := 0
+	for _, rs := range runs {
+		if rs == nil {
+			continue
+		}
+		count++
+		cov4s = append(cov4s, rs.CoverageLifetime[3])
+		delivs = append(delivs, rs.DeliveryLifetime)
+		for k := 0; k < MaxCoverageK; k++ {
+			pt.CoverageLifetime[k] += rs.CoverageLifetime[k]
+		}
+		pt.DeliveryLifetime += rs.DeliveryLifetime
+		pt.Wakeups += float64(rs.Wakeups)
+		pt.OverheadRatio += rs.OverheadRatio
+		pt.FailedFraction += rs.FailedFraction
+	}
+	if count == 0 {
+		return pt
+	}
+	div := float64(count)
+	for k := 0; k < MaxCoverageK; k++ {
+		pt.CoverageLifetime[k] /= div
+	}
+	pt.DeliveryLifetime /= div
+	pt.Wakeups /= div
+	pt.OverheadRatio /= div
+	pt.FailedFraction /= div
+	pt.Coverage4CI = stats.CI95(cov4s)
+	pt.DeliveryCI = stats.CI95(delivs)
+	return pt
+}

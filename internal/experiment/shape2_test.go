@@ -1,0 +1,17 @@
+package experiment
+
+import "testing"
+
+func TestShapeFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale sweep")
+	}
+	opts := DefaultOptions()
+	opts.Runs = 1
+	opts.FailureRates = []float64{5.33, 16, 26.66, 37.33, 48}
+	res, err := FailureSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s\n%s\n%s", res.Fig12(), res.Fig13(), res.Fig14())
+}

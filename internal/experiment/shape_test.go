@@ -1,0 +1,17 @@
+package experiment
+
+import "testing"
+
+func TestShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale sweep")
+	}
+	opts := DefaultOptions()
+	opts.Runs = 1
+	opts.Forwarding = true
+	res, err := DeploymentSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s\n%s\n%s\n%s", res.Fig9(), res.Fig10(), res.Fig11(), res.Table1())
+}

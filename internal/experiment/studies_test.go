@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllStudiesRender executes every study end to end (full scale, so
+// skipped with -short) and checks structural soundness of the rendered
+// tables.
+func TestAllStudiesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale studies")
+	}
+	studies := map[string]func() *Table{
+		"estimator":    func() *Table { return EstimatorStudy(1) },
+		"connectivity": func() *Table { return ConnectivityStudy(2, 1) },
+		"loss":         func() *Table { return LossStudy(1) },
+		"turnoff":      func() *Table { return TurnoffStudy(1) },
+		"distribution": func() *Table { return DeploymentDistributionStudy(1) },
+		"fixedpower":   func() *Table { return FixedPowerStudy(1) },
+		"rpsweep":      func() *Table { return RpSweepStudy(1) },
+		"boot":         func() *Table { return BootStudy(1) },
+		"density":      func() *Table { return DensityStudy(1) },
+		"mesh":         func() *Table { return MeshStudy(1) },
+		"grabcheck":    func() *Table { return GrabCheckStudy(1) },
+		"irregularity": func() *Table { return IrregularityStudy(1) },
+		"tracking":     func() *Table { return TrackingStudy(1) },
+	}
+	for name, build := range studies {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			tbl := build()
+			if tbl.Caption == "" || len(tbl.Headers) == 0 {
+				t.Fatalf("%s: empty table metadata", name)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: no rows", name)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) {
+					t.Errorf("%s row %d has %d cells for %d headers",
+						name, i, len(row), len(tbl.Headers))
+				}
+			}
+			out := tbl.String()
+			if !strings.Contains(out, tbl.Caption) {
+				t.Errorf("%s: caption missing from output", name)
+			}
+			// Every study must render to CSV and JSON.
+			var csvB, jsonB strings.Builder
+			if err := tbl.WriteCSV(&csvB, true); err != nil {
+				t.Errorf("%s csv: %v", name, err)
+			}
+			if err := tbl.WriteJSON(&jsonB); err != nil {
+				t.Errorf("%s json: %v", name, err)
+			}
+		})
+	}
+}
+
+// TestGapStudyStructure runs the §2.1.1 comparison at one seed and
+// verifies PEAS's gaps are shorter than synchronized sleeping's.
+func TestGapStudyStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale study")
+	}
+	tbl := GapStudy(1, 1)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var peasGap, syncGap float64
+	if _, err := sscan(tbl.Rows[0][1], &peasGap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tbl.Rows[1][1], &syncGap); err != nil {
+		t.Fatal(err)
+	}
+	if peasGap <= 0 || syncGap <= 0 {
+		t.Skipf("no gaps observed at this seed: peas=%v sync=%v", peasGap, syncGap)
+	}
+	if peasGap >= syncGap {
+		t.Errorf("PEAS mean gap %v should beat synchronized sleeping %v", peasGap, syncGap)
+	}
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result: a caption, column headers and
+// string rows. cmd/peas-bench renders the same rows the paper reports.
+type Table struct {
+	Caption string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-form footnote rendered below the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Caption)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fsec(v float64) string   { return fmt.Sprintf("%.0f", v) }
+func ffloat(v float64) string { return fmt.Sprintf("%.3f", v) }
+func fpct(v float64) string   { return fmt.Sprintf("%.3f%%", 100*v) }

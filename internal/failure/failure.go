@@ -1,0 +1,67 @@
+// Package failure injects random node failures into a running network,
+// reproducing the paper's robustness methodology (§5.2): "we artificially
+// inject node failures which are randomly distributed over time ... The
+// failure rate denotes the average number of failures per unit time."
+package failure
+
+import (
+	"peas/internal/core"
+	"peas/internal/node"
+	"peas/internal/stats"
+)
+
+// RatePer5000s converts the paper's "failures per 5000 seconds" unit into
+// failures per second.
+func RatePer5000s(failures float64) float64 { return failures / 5000 }
+
+// Injector schedules Poisson-distributed failures on a network. Failures
+// pick a uniformly random alive node, so both working and sleeping nodes
+// fail, as in the paper.
+type Injector struct {
+	net      *node.Network
+	rng      *stats.RNG
+	rate     float64 // failures per second
+	injected int
+	victims  []core.NodeID
+	stopped  bool
+}
+
+// NewInjector attaches an injector with the given rate (failures/second)
+// to the network. Call Start to schedule the first failure. A rate of 0
+// produces no failures.
+func NewInjector(net *node.Network, rate float64, rng *stats.RNG) *Injector {
+	return &Injector{net: net, rng: rng, rate: rate}
+}
+
+// Start schedules the first failure arrival.
+func (in *Injector) Start() {
+	if in.rate <= 0 {
+		return
+	}
+	in.scheduleNext()
+}
+
+// Stop prevents further failures from being injected.
+func (in *Injector) Stop() { in.stopped = true }
+
+// Injected returns how many failures have been injected so far.
+func (in *Injector) Injected() int { return in.injected }
+
+// Victims returns the IDs of the failed nodes in order of failure.
+func (in *Injector) Victims() []core.NodeID {
+	return append([]core.NodeID(nil), in.victims...)
+}
+
+func (in *Injector) scheduleNext() {
+	delay := in.rng.Exp(in.rate)
+	in.net.Engine.Schedule(delay, func() {
+		if in.stopped {
+			return
+		}
+		if id := in.net.FailRandomAlive(in.rng); id >= 0 {
+			in.injected++
+			in.victims = append(in.victims, id)
+		}
+		in.scheduleNext()
+	})
+}

@@ -1,0 +1,108 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"peas/internal/node"
+	"peas/internal/stats"
+)
+
+func TestRateConversion(t *testing.T) {
+	if got := RatePer5000s(10.66); math.Abs(got-10.66/5000) > 1e-15 {
+		t.Errorf("rate = %v", got)
+	}
+}
+
+func testNetwork(t *testing.T, n int) *node.Network {
+	t.Helper()
+	net, err := node.NewNetwork(node.DefaultConfig(n, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestInjectorKillsAtConfiguredRate(t *testing.T) {
+	net := testNetwork(t, 100)
+	// 20 failures per 5000 s over 5000 s: expect ≈ 20 failures.
+	inj := NewInjector(net, RatePer5000s(20), stats.NewRNG(5))
+	net.Start()
+	inj.Start()
+	net.Run(5000)
+	got := inj.Injected()
+	if got < 8 || got > 35 {
+		t.Errorf("injected %d failures, want ≈ 20", got)
+	}
+	if len(inj.Victims()) != got {
+		t.Errorf("victims %d != injected %d", len(inj.Victims()), got)
+	}
+	// Victims are actually dead.
+	for _, id := range inj.Victims() {
+		if net.Nodes[id].Alive() {
+			t.Errorf("victim %d still alive", id)
+		}
+		diedAt, cause := net.Nodes[id].DiedAt()
+		if cause != node.InjectedFailure {
+			t.Errorf("victim %d cause = %v at %v", id, cause, diedAt)
+		}
+	}
+}
+
+func TestZeroRateInjectsNothing(t *testing.T) {
+	net := testNetwork(t, 20)
+	inj := NewInjector(net, 0, stats.NewRNG(1))
+	net.Start()
+	inj.Start()
+	net.Run(2000)
+	if inj.Injected() != 0 {
+		t.Errorf("injected %d with zero rate", inj.Injected())
+	}
+}
+
+func TestInjectorStop(t *testing.T) {
+	net := testNetwork(t, 50)
+	inj := NewInjector(net, RatePer5000s(5000), stats.NewRNG(2)) // 1/s
+	net.Start()
+	inj.Start()
+	net.Run(10)
+	count := inj.Injected()
+	if count == 0 {
+		t.Fatal("no failures before stop")
+	}
+	inj.Stop()
+	net.Run(100)
+	if inj.Injected() != count {
+		t.Errorf("failures continued after Stop: %d -> %d", count, inj.Injected())
+	}
+}
+
+func TestInjectorExhaustsNetwork(t *testing.T) {
+	net := testNetwork(t, 10)
+	inj := NewInjector(net, 10 /* 10 per second */, stats.NewRNG(3))
+	net.Start()
+	inj.Start()
+	net.Run(100)
+	if alive := net.AliveCount(); alive != 0 {
+		t.Errorf("%d nodes still alive under extreme failure rate", alive)
+	}
+	if inj.Injected() != 10 {
+		t.Errorf("injected = %d, want all 10", inj.Injected())
+	}
+}
+
+func TestVictimsCopy(t *testing.T) {
+	net := testNetwork(t, 10)
+	inj := NewInjector(net, 1, stats.NewRNG(4))
+	net.Start()
+	inj.Start()
+	net.Run(5)
+	v := inj.Victims()
+	if len(v) == 0 {
+		t.Skip("no victims drawn")
+	}
+	v[0] = -99
+	if inj.Victims()[0] == -99 {
+		t.Error("Victims aliased internal slice")
+	}
+}

@@ -1,0 +1,164 @@
+// Package forward provides the data-delivery substrate of the evaluation.
+// The paper delivers source reports to a sink with GRAB [11], a cost-field
+// (gradient) forwarding protocol running over the working nodes. This
+// package reproduces GRAB's role in the evaluation:
+//
+//   - the sink maintains a hop-count cost field over the current working
+//     set (GRAB's periodically refreshed ADV flood);
+//   - a report generated at the source is delivered iff a relay path of
+//     working nodes exists from source to sink with per-hop range Rt
+//     (GRAB's forwarding mesh follows decreasing cost, so delivery
+//     succeeds exactly when the gradient is connected);
+//   - nodes on the delivery path are charged transmit/receive energy for
+//     the report.
+//
+// The cumulative success ratio and the 90% data-delivery lifetime match
+// the paper's definitions (§5.2).
+package forward
+
+import (
+	"peas/internal/energy"
+	"peas/internal/geom"
+	"peas/internal/metrics"
+	"peas/internal/node"
+	"peas/internal/stats"
+)
+
+// Config parameterizes the source/sink workload.
+type Config struct {
+	// Source and Sink positions; the paper places them "in opposite
+	// corners of the field".
+	Source geom.Point
+	Sink   geom.Point
+	// Period between report generations (paper: 10 s).
+	Period float64
+	// ReportSize in bytes for energy accounting of relayed reports.
+	ReportSize int
+	// HopRange is the per-hop radio range for data traffic (paper: the
+	// maximum transmitting range, 10 m).
+	HopRange float64
+	// MeshWidth is GRAB's credit-controlled mesh width: the number of
+	// node-disjoint paths a report travels. 0 or 1 selects single-path
+	// forwarding.
+	MeshWidth int
+	// HopLossRate is an i.i.d. per-hop data-frame loss probability; a
+	// report is delivered if at least one mesh path survives end to end.
+	HopLossRate float64
+	// Seed drives the per-hop loss sampling. Zero derives a fixed seed.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's workload over the given field: source
+// and sink in opposite corners, one 64-byte report every 10 seconds,
+// 10-meter hops.
+func DefaultConfig(field geom.Field) Config {
+	return Config{
+		Source:     geom.Point{X: 1, Y: 1},
+		Sink:       geom.Point{X: field.Width - 1, Y: field.Height - 1},
+		Period:     10,
+		ReportSize: 64,
+		HopRange:   10,
+		MeshWidth:  1,
+	}
+}
+
+// Harness drives the source/sink workload on a network.
+type Harness struct {
+	cfg   Config
+	net   *node.Network
+	ratio *metrics.Ratio
+	hops  *metrics.Series
+	rng   *stats.RNG
+}
+
+// NewHarness attaches the workload to net. Call Start before running the
+// simulation.
+func NewHarness(cfg Config, net *node.Network) *Harness {
+	if cfg.MeshWidth < 1 {
+		cfg.MeshWidth = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = net.Config().Seed ^ 0x9e3779b9
+	}
+	return &Harness{
+		cfg:   cfg,
+		net:   net,
+		ratio: metrics.NewRatio("data-success-ratio"),
+		hops:  metrics.NewSeries("delivery-hops"),
+		rng:   stats.NewRNG(seed),
+	}
+}
+
+// Start schedules periodic report generation.
+func (h *Harness) Start() {
+	h.net.Engine.NewTicker(h.cfg.Period, h.generate)
+}
+
+// generate creates one report and attempts delivery through the current
+// working set.
+func (h *Harness) generate() {
+	now := h.net.Engine.Now()
+	working := h.workingNodes()
+	positions := make([]geom.Point, len(working))
+	for i, n := range working {
+		positions[i] = n.Pos()
+	}
+	paths := disjointPaths(h.net.Field, positions, h.cfg.Source, h.cfg.Sink,
+		h.cfg.HopRange, h.cfg.MeshWidth)
+	if len(paths) == 0 {
+		h.ratio.Observe(now, false)
+		return
+	}
+	// The report is delivered if any mesh path survives the per-hop
+	// losses; energy is spent on every attempted path either way.
+	delivered := false
+	for _, path := range paths {
+		if pathSurvives(len(path)+1, h.cfg.HopLossRate, h.rng) {
+			delivered = true
+		}
+		h.chargePath(working, path)
+	}
+	h.ratio.Observe(now, delivered)
+	if delivered {
+		h.hops.Record(now, float64(len(paths[0])+1))
+	}
+}
+
+// workingNodes snapshots the alive working nodes.
+func (h *Harness) workingNodes() []*node.Node {
+	out := make([]*node.Node, 0, len(h.net.Nodes)/4)
+	for _, n := range h.net.Nodes {
+		if n.Working() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// chargePath debits each relay for one report transmission and reception
+// at the node's radio rates, on top of its idle draw.
+func (h *Harness) chargePath(working []*node.Node, path []int) {
+	cfg := h.net.Config()
+	airtime := float64(h.cfg.ReportSize) * 8 / cfg.Radio.BitsPerSecond
+	txExtra := (cfg.Energy.TransmitW - cfg.Energy.IdleW) * airtime
+	rxExtra := (cfg.Energy.ReceiveW - cfg.Energy.IdleW) * airtime
+	for _, i := range path {
+		n := working[i]
+		h.net.ChargeExtra(n.ID(), energy.DataTransmit, txExtra)
+		h.net.ChargeExtra(n.ID(), energy.DataReceive, rxExtra)
+	}
+}
+
+// Ratio exposes the cumulative success-ratio recorder.
+func (h *Harness) Ratio() *metrics.Ratio { return h.ratio }
+
+// Hops exposes the per-delivery hop-count series.
+func (h *Harness) Hops() *metrics.Series { return h.hops }
+
+// DeliveryLifetime returns the data-delivery lifetime: the time at which
+// the cumulative success ratio first drops below threshold (paper: 90%).
+// ok is false when the ratio never dropped during the run.
+func (h *Harness) DeliveryLifetime(threshold float64) (lifetime float64, ok bool) {
+	return h.ratio.Series().FirstBelow(threshold, 1)
+}

@@ -1,0 +1,107 @@
+package forward
+
+import (
+	"testing"
+
+	"peas/internal/geom"
+	"peas/internal/stats"
+)
+
+func TestDisjointPathsBasics(t *testing.T) {
+	f := geom.NewField(50, 50)
+	src, dst := geom.Point{X: 0, Y: 0}, geom.Point{X: 30, Y: 0}
+	// Two parallel relay chains.
+	relays := []geom.Point{
+		{X: 10, Y: 0}, {X: 20, Y: 0}, // chain A
+		{X: 8, Y: 6}, {X: 16, Y: 6}, {X: 24, Y: 6}, // chain B
+	}
+	paths := disjointPaths(f, relays, src, dst, 10, 2)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	// Node-disjointness.
+	seen := map[int]bool{}
+	for _, p := range paths {
+		for _, i := range p {
+			if seen[i] {
+				t.Fatalf("relay %d used by two paths: %v", i, paths)
+			}
+			seen[i] = true
+		}
+	}
+	// First path is the shortest (chain A: 2 relays).
+	if len(paths[0]) != 2 {
+		t.Errorf("first path has %d relays, want 2", len(paths[0]))
+	}
+}
+
+func TestDisjointPathsWidthExceedsAvailable(t *testing.T) {
+	f := geom.NewField(50, 50)
+	src, dst := geom.Point{X: 0, Y: 0}, geom.Point{X: 30, Y: 0}
+	relays := []geom.Point{{X: 10, Y: 0}, {X: 20, Y: 0}} // one chain only
+	paths := disjointPaths(f, relays, src, dst, 10, 5)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+}
+
+func TestDisjointPathsDirectReach(t *testing.T) {
+	f := geom.NewField(50, 50)
+	src, dst := geom.Point{X: 0, Y: 0}, geom.Point{X: 5, Y: 0}
+	paths := disjointPaths(f, []geom.Point{{X: 2, Y: 0}}, src, dst, 10, 3)
+	if len(paths) != 1 || paths[0] != nil {
+		t.Fatalf("direct reach: %v", paths)
+	}
+}
+
+func TestDisjointPathsUnreachable(t *testing.T) {
+	f := geom.NewField(50, 50)
+	paths := disjointPaths(f, nil, geom.Point{X: 0, Y: 0}, geom.Point{X: 40, Y: 0}, 10, 2)
+	if len(paths) != 0 {
+		t.Fatalf("unreachable: %v", paths)
+	}
+}
+
+func TestPathSurvives(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if !pathSurvives(100, 0, rng) {
+		t.Error("zero loss must always survive")
+	}
+	// 5 hops at 50% loss: survival = 0.5^5 ≈ 3.1%.
+	const trials = 20000
+	survived := 0
+	for i := 0; i < trials; i++ {
+		if pathSurvives(5, 0.5, rng) {
+			survived++
+		}
+	}
+	got := float64(survived) / trials
+	if got < 0.02 || got > 0.045 {
+		t.Errorf("5-hop survival at 50%% loss = %v, want ≈ 0.031", got)
+	}
+}
+
+// TestMeshWidthImprovesDelivery is the GRAB robustness property: under
+// lossy hops, widening the mesh raises the delivery ratio at the cost of
+// extra relayed energy.
+func TestMeshWidthImprovesDelivery(t *testing.T) {
+	ratioAt := func(width int) float64 {
+		net := testNet(t, 480, 31)
+		cfg := DefaultConfig(net.Field)
+		cfg.MeshWidth = width
+		cfg.HopLossRate = 0.15
+		h := NewHarness(cfg, net)
+		h.Start()
+		net.Start()
+		net.Run(2000)
+		return h.Ratio().Value()
+	}
+	single := ratioAt(1)
+	wide := ratioAt(3)
+	t.Logf("delivery ratio at 15%% hop loss: width1=%v width3=%v", single, wide)
+	// Per-path survival over ~8 hops at 15% loss is ≈0.27, so one path
+	// delivers ~27% and three disjoint paths ≈ 1-(1-0.27)³ ≈ 0.6.
+	if wide < single+0.15 {
+		t.Errorf("mesh width did not improve delivery enough: %v -> %v", single, wide)
+	}
+}

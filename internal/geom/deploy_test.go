@@ -1,0 +1,85 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"peas/internal/stats"
+)
+
+func TestClusterDeployStaysInField(t *testing.T) {
+	f := NewField(50, 50)
+	pts := ClusterDeploy(f, 500, 8, 6, stats.NewRNG(1))
+	if len(pts) != 500 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !f.Contains(p) {
+			t.Fatalf("point %v escaped the field", p)
+		}
+	}
+}
+
+func TestClusterDeployIsClustered(t *testing.T) {
+	f := NewField(50, 50)
+	rng := stats.NewRNG(2)
+	clustered := ClusterDeploy(f, 400, 4, 3, rng.Split())
+	uniform := UniformDeploy(f, 400, rng.Split())
+
+	// Clustered deployments have a much smaller mean nearest-neighbor
+	// distance than uniform ones of the same size.
+	if c, u := meanNearest(clustered), meanNearest(uniform); c >= u*0.8 {
+		t.Errorf("clustered NN distance %v not < uniform %v", c, u)
+	}
+}
+
+func meanNearest(pts []Point) float64 {
+	var sum float64
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := p.Dist(q); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(pts))
+}
+
+func TestClusterDeployEdgeCases(t *testing.T) {
+	f := NewField(10, 10)
+	if ClusterDeploy(f, 0, 3, 2, stats.NewRNG(1)) != nil {
+		t.Error("zero points")
+	}
+	// Zero clusters clamps to one.
+	pts := ClusterDeploy(f, 10, 0, 1, stats.NewRNG(1))
+	if len(pts) != 10 {
+		t.Errorf("points = %d", len(pts))
+	}
+}
+
+func TestDeploymentsDiffer(t *testing.T) {
+	f := NewField(50, 50)
+	a := UniformDeploy(f, 50, stats.NewRNG(1))
+	b := UniformDeploy(f, 50, stats.NewRNG(2))
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds gave the same deployment")
+	}
+	// Same seed gives the same deployment.
+	c := UniformDeploy(f, 50, stats.NewRNG(1))
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package geom
+
+import "math"
+
+// Index is a bucket-grid spatial index over a fixed set of points. The
+// radio medium queries it on every broadcast to find candidate receivers,
+// so lookups must not scan all nodes.
+//
+// The index is built once at deployment time; sensor nodes are stationary
+// (paper §5.2), so there is no update path.
+type Index struct {
+	field   Field
+	cell    float64
+	cols    int
+	rows    int
+	buckets [][]int
+	points  []Point
+}
+
+// NewIndex builds an index over points with the given bucket edge length.
+// A cell size near the dominant query radius keeps candidate sets small.
+func NewIndex(field Field, points []Point, cellSize float64) *Index {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	cols := int(math.Ceil(field.Width/cellSize)) + 1
+	rows := int(math.Ceil(field.Height/cellSize)) + 1
+	idx := &Index{
+		field:   field,
+		cell:    cellSize,
+		cols:    cols,
+		rows:    rows,
+		buckets: make([][]int, cols*rows),
+		points:  append([]Point(nil), points...),
+	}
+	for i, p := range idx.points {
+		b := idx.bucketOf(p)
+		idx.buckets[b] = append(idx.buckets[b], i)
+	}
+	return idx
+}
+
+func (idx *Index) bucketOf(p Point) int {
+	c := int(p.X / idx.cell)
+	r := int(p.Y / idx.cell)
+	if c < 0 {
+		c = 0
+	}
+	if c >= idx.cols {
+		c = idx.cols - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r >= idx.rows {
+		r = idx.rows - 1
+	}
+	return r*idx.cols + c
+}
+
+// Len returns the number of indexed points.
+func (idx *Index) Len() int { return len(idx.points) }
+
+// At returns the position of point i.
+func (idx *Index) At(i int) Point { return idx.points[i] }
+
+// Within calls fn for every indexed point within radius of center,
+// including a point exactly at the radius. fn receives the point's index
+// and its distance from center. Iteration order is deterministic (bucket
+// scan order) so simulations remain reproducible.
+func (idx *Index) Within(center Point, radius float64, fn func(i int, dist float64)) {
+	if radius < 0 {
+		return
+	}
+	r2 := radius * radius
+	c0 := int((center.X - radius) / idx.cell)
+	c1 := int((center.X + radius) / idx.cell)
+	r0 := int((center.Y - radius) / idx.cell)
+	r1 := int((center.Y + radius) / idx.cell)
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r0 < 0 {
+		r0 = 0
+	}
+	if c1 >= idx.cols {
+		c1 = idx.cols - 1
+	}
+	if r1 >= idx.rows {
+		r1 = idx.rows - 1
+	}
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			for _, i := range idx.buckets[row*idx.cols+col] {
+				d2 := center.Dist2(idx.points[i])
+				if d2 <= r2 {
+					fn(i, math.Sqrt(d2))
+				}
+			}
+		}
+	}
+}
+
+// CountWithin returns the number of indexed points within radius of center.
+func (idx *Index) CountWithin(center Point, radius float64) int {
+	n := 0
+	idx.Within(center, radius, func(int, float64) { n++ })
+	return n
+}

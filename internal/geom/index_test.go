@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"peas/internal/stats"
+)
+
+// TestIndexMatchesBruteForce is the core property of the spatial index:
+// Within must return exactly the points a linear scan finds.
+func TestIndexMatchesBruteForce(t *testing.T) {
+	f := NewField(50, 50)
+	rng := stats.NewRNG(4)
+	pts := UniformDeploy(f, 400, rng)
+	for _, cell := range []float64{0.5, 3, 10, 100} {
+		idx := NewIndex(f, pts, cell)
+		for trial := 0; trial < 50; trial++ {
+			center := Point{rng.Uniform(-5, 55), rng.Uniform(-5, 55)}
+			radius := rng.Uniform(0, 15)
+
+			var got []int
+			idx.Within(center, radius, func(i int, dist float64) {
+				got = append(got, i)
+				// The index reports sqrt(Dist2); Dist uses Hypot, which
+				// can differ by an ulp.
+				if want := center.Dist(pts[i]); dist < want-1e-9 || dist > want+1e-9 {
+					t.Fatalf("reported dist %v, want %v", dist, want)
+				}
+			})
+			var want []int
+			for i, p := range pts {
+				if center.Dist(p) <= radius {
+					want = append(want, i)
+				}
+			}
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("cell=%v: got %d points, want %d", cell, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("cell=%v: got %v, want %v", cell, got, want)
+				}
+			}
+			if n := idx.CountWithin(center, radius); n != len(want) {
+				t.Fatalf("CountWithin = %d, want %d", n, len(want))
+			}
+		}
+	}
+}
+
+func TestIndexEdgeCases(t *testing.T) {
+	f := NewField(10, 10)
+	idx := NewIndex(f, []Point{{0, 0}, {10, 10}, {5, 5}}, 3)
+	if idx.Len() != 3 {
+		t.Fatalf("len = %d", idx.Len())
+	}
+	if idx.At(2) != (Point{5, 5}) {
+		t.Errorf("At(2) = %v", idx.At(2))
+	}
+	// Negative radius finds nothing.
+	if n := idx.CountWithin(Point{5, 5}, -1); n != 0 {
+		t.Errorf("negative radius: %d", n)
+	}
+	// Zero radius finds exactly coincident points.
+	if n := idx.CountWithin(Point{5, 5}, 0); n != 1 {
+		t.Errorf("zero radius: %d, want 1", n)
+	}
+	// Radius covering all.
+	if n := idx.CountWithin(Point{5, 5}, 100); n != 3 {
+		t.Errorf("huge radius: %d, want 3", n)
+	}
+	// Empty index.
+	empty := NewIndex(f, nil, 1)
+	if n := empty.CountWithin(Point{1, 1}, 5); n != 0 {
+		t.Errorf("empty index returned %d", n)
+	}
+	// Non-positive cell size falls back to a sane default.
+	weird := NewIndex(f, []Point{{1, 1}}, 0)
+	if n := weird.CountWithin(Point{1, 1}, 1); n != 1 {
+		t.Errorf("zero cell size: %d, want 1", n)
+	}
+}
+
+func TestIndexDeterministicOrder(t *testing.T) {
+	f := NewField(20, 20)
+	pts := UniformDeploy(f, 100, stats.NewRNG(8))
+	idx := NewIndex(f, pts, 3)
+	collect := func() []int {
+		var order []int
+		idx.Within(Point{10, 10}, 8, func(i int, _ float64) { order = append(order, i) })
+		return order
+	}
+	first := collect()
+	for trial := 0; trial < 5; trial++ {
+		again := collect()
+		if len(again) != len(first) {
+			t.Fatal("iteration order changed length")
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatal("iteration order is not deterministic")
+			}
+		}
+	}
+}
+
+func TestIndexCopiesInput(t *testing.T) {
+	f := NewField(10, 10)
+	pts := []Point{{1, 1}}
+	idx := NewIndex(f, pts, 1)
+	pts[0] = Point{9, 9}
+	if idx.At(0) != (Point{1, 1}) {
+		t.Error("index aliased caller's slice")
+	}
+}
+
+func TestIndexQuick(t *testing.T) {
+	f := NewField(30, 30)
+	err := quick.Check(func(seed int64, radius float64) bool {
+		if radius < 0 || radius > 40 || bad(radius) {
+			return true
+		}
+		rng := stats.NewRNG(seed)
+		pts := UniformDeploy(f, 50, rng)
+		idx := NewIndex(f, pts, 2.5)
+		center := Point{rng.Uniform(0, 30), rng.Uniform(0, 30)}
+		want := 0
+		for _, p := range pts {
+			if center.Dist(p) <= radius {
+				want++
+			}
+		}
+		return idx.CountWithin(center, radius) == want
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package grab
+
+import (
+	"testing"
+
+	"peas/internal/forward"
+	"peas/internal/node"
+)
+
+func testNet(t *testing.T, n int, seed int64) *node.Network {
+	t.Helper()
+	net, err := node.NewNetwork(node.DefaultConfig(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestPacketLevelDelivery(t *testing.T) {
+	net := testNet(t, 480, 41)
+	h := NewHarness(DefaultConfig(net.Field), net)
+	h.Start()
+	net.Start()
+	net.Run(1500)
+
+	gen, succ := h.Ratio().Counts()
+	if gen < 100 {
+		t.Fatalf("only %d verdicts in 1500 s", gen)
+	}
+	ratio := float64(succ) / float64(gen)
+	t.Logf("packet-level delivery: %d/%d (%.2f)", succ, gen, ratio)
+	// Real MAC effects (collisions, refresh transients) cost a few
+	// percent, but a healthy 480-node working set must deliver the
+	// overwhelming majority of reports.
+	if ratio < 0.85 {
+		t.Errorf("delivery ratio %.2f below 0.85", ratio)
+	}
+}
+
+// TestAbstractionAgreement cross-validates the connectivity-level
+// forwarding model (internal/forward) against the packet-level gradient:
+// over a healthy working set both should deliver nearly everything, and
+// over an empty working set both must deliver nothing.
+func TestAbstractionAgreement(t *testing.T) {
+	net := testNet(t, 480, 43)
+	pk := NewHarness(DefaultConfig(net.Field), net)
+	ab := forward.NewHarness(forward.DefaultConfig(net.Field), net)
+	pk.Start()
+	ab.Start()
+	net.Start()
+	net.Run(1200)
+
+	_, pkSucc := pk.Ratio().Counts()
+	_, abSucc := ab.Ratio().Counts()
+	pkRatio := pk.Ratio().Value()
+	abRatio := ab.Ratio().Value()
+	t.Logf("packet=%.3f abstract=%.3f (succ %d vs %d)", pkRatio, abRatio, pkSucc, abSucc)
+	if abRatio-pkRatio > 0.15 {
+		t.Errorf("abstraction too optimistic: packet %.2f vs abstract %.2f", pkRatio, abRatio)
+	}
+	if pkRatio > abRatio+0.01 {
+		t.Errorf("packet-level delivered more than connectivity allows: %.3f > %.3f",
+			pkRatio, abRatio)
+	}
+}
+
+func TestNoDeliveryWithoutWorkers(t *testing.T) {
+	net := testNet(t, 100, 44)
+	h := NewHarness(DefaultConfig(net.Field), net)
+	h.Start()
+	// Network never started: nobody works, nothing flows.
+	net.Run(300)
+	if _, succ := h.Ratio().Counts(); succ != 0 {
+		t.Errorf("%d deliveries with no working nodes", succ)
+	}
+}
+
+func TestSparseNetworkPartitioned(t *testing.T) {
+	// 20 nodes on 50x50 m cannot bridge 68 m with 10 m hops reliably.
+	net := testNet(t, 20, 45)
+	h := NewHarness(DefaultConfig(net.Field), net)
+	h.Start()
+	net.Start()
+	net.Run(500)
+	if h.Ratio().Value() > 0.5 {
+		t.Errorf("sparse partitioned network delivered %.2f", h.Ratio().Value())
+	}
+}
+
+func TestCostFieldMonotone(t *testing.T) {
+	net := testNet(t, 480, 46)
+	h := NewHarness(DefaultConfig(net.Field), net)
+	h.Start()
+	net.Start()
+	net.Run(400)
+
+	// Every working node with a finite cost must have the sink within
+	// cost * HopRange (hop-count geometry lower bound).
+	for i, st := range h.state {
+		if !net.Nodes[i].Working() || st.cost >= 1<<30 {
+			continue
+		}
+		maxReach := float64(st.cost) * h.cfg.HopRange
+		if d := net.Nodes[i].Pos().Dist(h.cfg.Sink); d > maxReach+1e-9 {
+			t.Fatalf("node %d: cost %d cannot cover distance %.1f", i, st.cost, d)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("test")
+	if s.Name() != "test" || s.Len() != 0 {
+		t.Fatal("fresh series")
+	}
+	if _, ok := s.Last(); ok {
+		t.Error("empty series has no last point")
+	}
+	s.Record(1, 10)
+	s.Record(2, 20)
+	if s.Len() != 2 {
+		t.Errorf("len = %d", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last.T != 2 || last.V != 20 {
+		t.Errorf("last = %+v", last)
+	}
+	pts := s.Points()
+	pts[0].V = 999
+	if p, _ := s.Last(); p.V == 999 {
+		t.Error("Points aliased internal storage")
+	}
+	if s.MaxV() != 20 {
+		t.Errorf("max = %v", s.MaxV())
+	}
+}
+
+func TestSeriesFirstBelow(t *testing.T) {
+	s := NewSeries("x")
+	for i, v := range []float64{1, 0.95, 0.85, 0.95, 0.85, 0.85, 0.85} {
+		s.Record(float64(i), v)
+	}
+	tests := []struct {
+		threshold float64
+		sustain   int
+		want      float64
+		dropped   bool
+	}{
+		{0.9, 1, 2, true},
+		{0.9, 2, 4, true},
+		{0.9, 3, 4, true},
+		{0.5, 1, 6, false}, // never below 0.5
+		{0.9, 0, 2, true},  // sustain clamps to 1
+	}
+	for _, tc := range tests {
+		got, dropped := s.FirstBelow(tc.threshold, tc.sustain)
+		if got != tc.want || dropped != tc.dropped {
+			t.Errorf("FirstBelow(%v, %d) = (%v, %v), want (%v, %v)",
+				tc.threshold, tc.sustain, got, dropped, tc.want, tc.dropped)
+		}
+	}
+	empty := NewSeries("e")
+	if _, dropped := empty.FirstBelow(1, 1); dropped {
+		t.Error("empty series reported a drop")
+	}
+}
+
+func TestSeriesMeanAfter(t *testing.T) {
+	s := NewSeries("x")
+	s.Record(0, 100) // boot transient, excluded
+	s.Record(300, 10)
+	s.Record(400, 20)
+	if got := s.MeanAfter(300); got != 15 {
+		t.Errorf("MeanAfter = %v, want 15", got)
+	}
+	if got := s.MeanAfter(1000); got != 0 {
+		t.Errorf("MeanAfter beyond series = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	r := NewRatio("delivery")
+	if r.Value() != 1 {
+		t.Error("empty ratio should be 1")
+	}
+	r.Observe(10, true)
+	r.Observe(20, true)
+	r.Observe(30, false)
+	if math.Abs(r.Value()-2.0/3) > 1e-12 {
+		t.Errorf("ratio = %v", r.Value())
+	}
+	gen, succ := r.Counts()
+	if gen != 3 || succ != 2 {
+		t.Errorf("counts = %d/%d", succ, gen)
+	}
+	if r.Series().Len() != 3 {
+		t.Errorf("series len = %d", r.Series().Len())
+	}
+	// The cumulative series records the running ratio.
+	pts := r.Series().Points()
+	if pts[0].V != 1 || pts[1].V != 1 || math.Abs(pts[2].V-2.0/3) > 1e-12 {
+		t.Errorf("series = %+v", pts)
+	}
+}
+
+func TestRatioLifetimeSemantics(t *testing.T) {
+	// The paper's delivery lifetime: cumulative ratio crosses 90%.
+	r := NewRatio("d")
+	for i := 0; i < 100; i++ {
+		r.Observe(float64(i), true)
+	}
+	// Failures begin: the cumulative ratio decays slowly.
+	for i := 100; i < 200; i++ {
+		r.Observe(float64(i), false)
+	}
+	lt, dropped := r.Series().FirstBelow(0.9, 1)
+	if !dropped {
+		t.Fatal("ratio should cross 90%")
+	}
+	// 100 successes / (100 + n) < 0.9 at n = 12 -> t = 111.
+	if lt != 111 {
+		t.Errorf("lifetime = %v, want 111", lt)
+	}
+}

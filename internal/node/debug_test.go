@@ -1,0 +1,43 @@
+package node
+
+import (
+	"testing"
+
+	"peas/internal/core"
+	"peas/internal/geom"
+)
+
+// TestProbeReplySleep checks the fundamental PEAS exchange: a node that
+// probes within range of a working node must hear a REPLY and go back to
+// sleep.
+func TestProbeReplySleep(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.Positions = []geom.Point{{X: 10, Y: 10}, {X: 11, Y: 10}}
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	net.Run(200)
+
+	working := 0
+	for _, n := range net.Nodes {
+		t.Logf("node %d: state=%v rate=%v wakeups=%d repliesHeard=%d probesSent=%d repliesSent=%d",
+			n.ID(), n.State(), n.Protocol().Rate(), n.Protocol().Stats().Wakeups,
+			n.Protocol().Stats().RepliesHeard, n.Protocol().Stats().ProbesSent,
+			n.Protocol().Stats().RepliesSent)
+		if n.Working() {
+			working++
+		}
+	}
+	sent, delivered, collided, lost, _ := net.Medium.Stats()
+	t.Logf("medium: sent=%d delivered=%d collided=%d lost=%d", sent, delivered, collided, lost)
+	if working != 1 {
+		t.Errorf("want exactly 1 working node, got %d", working)
+	}
+	for _, n := range net.Nodes {
+		if !n.Working() && n.State() != core.Sleeping && n.State() != core.Probing {
+			t.Errorf("node %d in unexpected state %v", n.ID(), n.State())
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"peas/internal/core"
+	"peas/internal/energy"
+	"peas/internal/geom"
+	"peas/internal/radio"
+	"peas/internal/stats"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero nodes", func(c *Config) { c.N = 0 }},
+		{"bad protocol", func(c *Config) { c.Protocol.ProbingRange = -1 }},
+		{"bad energy range", func(c *Config) { c.InitialEnergyMin = 10; c.InitialEnergyMax = 5 }},
+		{"zero energy", func(c *Config) { c.InitialEnergyMin = 0; c.InitialEnergyMax = 0 }},
+		{"positions mismatch", func(c *Config) { c.Positions = []geom.Point{{X: 1, Y: 1}} }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(10, 1)
+			tc.mutate(&cfg)
+			if _, err := NewNetwork(cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() (uint64, float64, int) {
+		net, err := NewNetwork(DefaultConfig(120, 77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Start()
+		net.Run(1500)
+		return net.TotalWakeups(), net.TotalConsumed(), net.WorkingCount()
+	}
+	w1, e1, c1 := run()
+	w2, e2, c2 := run()
+	if w1 != w2 || e1 != e2 || c1 != c2 {
+		t.Errorf("same seed diverged: (%d, %v, %d) vs (%d, %v, %d)",
+			w1, e1, c1, w2, e2, c2)
+	}
+}
+
+func TestNetworkSeedsDiffer(t *testing.T) {
+	netA, err := NewNetwork(DefaultConfig(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB, err := NewNetwork(DefaultConfig(100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range netA.Nodes {
+		if netA.Nodes[i].Pos() == netB.Nodes[i].Pos() {
+			same++
+		}
+	}
+	if same == len(netA.Nodes) {
+		t.Error("different seeds produced identical deployments")
+	}
+}
+
+// TestPeaSeparationIdealChannel checks the §3 "peas" property in the
+// regime the analysis assumes: ideal probing (every PROBE is answered
+// and every REPLY heard). With collisions disabled, any violation of the
+// Rp separation is a protocol bug, not channel physics.
+func TestPeaSeparationIdealChannel(t *testing.T) {
+	cfg := DefaultConfig(200, 5)
+	cfg.Radio.CollisionsEnabled = false
+	cfg.Protocol.TurnoffEnabled = false
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	net.Run(2500)
+
+	working := net.WorkingPositions()
+	if len(working) < 20 {
+		t.Fatalf("only %d working nodes", len(working))
+	}
+	violations := 0
+	for i := range working {
+		for j := i + 1; j < len(working); j++ {
+			if working[i].Dist(working[j]) < cfg.Protocol.ProbingRange {
+				violations++
+			}
+		}
+	}
+	// With an ideal channel the only possible violation is two probers
+	// racing inside one probe window (neither is working yet, so
+	// neither replies); at λ0=0.1 boot density a handful of races can
+	// slip through.
+	if violations > len(working)/20 {
+		t.Errorf("%d working pairs closer than Rp among %d workers",
+			violations, len(working))
+	}
+}
+
+func TestFailedWorkerGetsReplaced(t *testing.T) {
+	cfg := DefaultConfig(150, 9)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	net.Run(600) // past boot-up
+	before := net.WorkingCount()
+	if before == 0 {
+		t.Fatal("no working nodes after boot")
+	}
+
+	// Kill every working node at t=600.
+	for _, n := range net.Nodes {
+		if n.Working() {
+			n.Fail(InjectedFailure)
+		}
+	}
+	if net.WorkingCount() != 0 {
+		t.Fatal("kill failed")
+	}
+
+	// Each dead worker's neighborhood refills at the desired aggregate
+	// probing rate λd = 0.02/s (mean 50 s to the first replacement), and
+	// the set then densifies wakeup by wakeup toward the packing bound.
+	net.Run(600 + 100)
+	if got := net.WorkingCount(); got == 0 {
+		t.Fatal("no replacement worker within 100 s")
+	}
+	net.Run(600 + 1500)
+	after := net.WorkingCount()
+	if after < before/2 {
+		t.Errorf("replacement too weak: %d workers before, %d after 1500 s", before, after)
+	}
+}
+
+func TestEnergyConservationNetworkWide(t *testing.T) {
+	cfg := DefaultConfig(80, 13)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var initial float64
+	for _, n := range net.Nodes {
+		initial += n.Battery().Initial()
+	}
+	net.Start()
+	net.Run(3000)
+	now := net.Engine.Now()
+	var consumed, remaining float64
+	for _, n := range net.Nodes {
+		consumed += n.Battery().Consumed(now)
+		remaining += n.Battery().Remaining(now)
+	}
+	if math.Abs(consumed+remaining-initial) > 1e-6 {
+		t.Errorf("energy leak: consumed %v + remaining %v != initial %v",
+			consumed, remaining, initial)
+	}
+}
+
+func TestDepletionDeathsScheduled(t *testing.T) {
+	// With abundant redundancy, the first-generation workers deplete at
+	// ~4500-5000 s; their deaths must be recorded with the right cause.
+	cfg := DefaultConfig(100, 17)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	net.Run(5200)
+	depleted := 0
+	for _, n := range net.Nodes {
+		if n.Alive() {
+			continue
+		}
+		diedAt, cause := n.DiedAt()
+		if cause != Depletion {
+			t.Errorf("node %d died of %v", n.ID(), cause)
+		}
+		if diedAt < 4000 || diedAt > 5200 {
+			t.Errorf("node %d depleted at %v, outside the battery window", n.ID(), diedAt)
+		}
+		depleted++
+	}
+	if depleted == 0 {
+		t.Error("no depletion deaths by t=5200")
+	}
+}
+
+func TestObserverHooks(t *testing.T) {
+	cfg := DefaultConfig(30, 19)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states, deaths, delivers int
+	net.OnState = func(core.NodeID, core.State) { states++ }
+	net.OnDeath = func(core.NodeID, DeathCause) { deaths++ }
+	net.OnDeliver = func(core.NodeID, radio.Packet, float64) { delivers++ }
+	net.Start()
+	net.FailRandomAlive(stats.NewRNG(1))
+	net.Run(100)
+	if states == 0 {
+		t.Error("no state transitions observed")
+	}
+	if deaths != 1 {
+		t.Errorf("deaths observed = %d, want 1", deaths)
+	}
+	if delivers == 0 {
+		t.Error("no deliveries observed")
+	}
+}
+
+func TestFailRandomAliveExhaustion(t *testing.T) {
+	cfg := DefaultConfig(3, 23)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	rng := stats.NewRNG(2)
+	seen := map[core.NodeID]bool{}
+	for i := 0; i < 3; i++ {
+		id := net.FailRandomAlive(rng)
+		if id < 0 || seen[id] {
+			t.Fatalf("bad victim %d (seen=%v)", id, seen)
+		}
+		seen[id] = true
+	}
+	if id := net.FailRandomAlive(rng); id != -1 {
+		t.Errorf("exhausted network returned victim %d", id)
+	}
+}
+
+func TestChargeExtraKillsOnOverdraw(t *testing.T) {
+	cfg := DefaultConfig(5, 29)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	victim := net.Nodes[0]
+	net.ChargeExtra(victim.ID(), energy.DataTransmit, 1e6)
+	if victim.Alive() {
+		t.Error("overdrawn node still alive")
+	}
+	if _, cause := victim.DiedAt(); cause != Depletion {
+		t.Errorf("cause = %v", cause)
+	}
+	// Charging a dead node is a no-op.
+	net.ChargeExtra(victim.ID(), energy.DataTransmit, 1)
+}
+
+func TestProtocolEnergyPositiveAndBounded(t *testing.T) {
+	cfg := DefaultConfig(100, 31)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	net.Run(2000)
+	pe := net.ProtocolEnergy()
+	total := net.TotalConsumed()
+	if pe <= 0 {
+		t.Error("protocol energy should be positive")
+	}
+	if pe > total*0.05 {
+		t.Errorf("protocol energy %v exceeds 5%% of total %v", pe, total)
+	}
+}

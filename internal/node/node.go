@@ -1,0 +1,212 @@
+// Package node glues the simulation substrates together into sensor
+// nodes: each Node owns a battery (internal/energy), a radio endpoint
+// (internal/radio) and a PEAS protocol instance (internal/core), and
+// implements the protocol's Platform interface on top of the
+// discrete-event engine (internal/sim).
+package node
+
+import (
+	"peas/internal/core"
+	"peas/internal/energy"
+	"peas/internal/geom"
+	"peas/internal/radio"
+	"peas/internal/sim"
+	"peas/internal/stats"
+)
+
+// DeathCause says why a node died.
+type DeathCause int
+
+// Death causes.
+const (
+	// Depletion is normal battery exhaustion.
+	Depletion DeathCause = iota + 1
+	// InjectedFailure is an artificial failure (paper §5.2: "failures
+	// are deaths not incurred by energy depletions").
+	InjectedFailure
+)
+
+// String returns the cause name.
+func (c DeathCause) String() string {
+	switch c {
+	case Depletion:
+		return "depletion"
+	case InjectedFailure:
+		return "failure"
+	default:
+		return "unknown"
+	}
+}
+
+// Node is one simulated sensor.
+type Node struct {
+	id      core.NodeID
+	pos     geom.Point
+	network *Network
+
+	battery    *energy.Battery
+	proto      *core.Protocol
+	rng        *stats.RNG
+	deathEvent *sim.Event
+	alive      bool
+	cause      DeathCause
+	diedAt     float64
+}
+
+var (
+	_ core.Platform  = (*Node)(nil)
+	_ radio.Receiver = (*Node)(nil)
+)
+
+// ID returns the node identifier.
+func (n *Node) ID() core.NodeID { return n.id }
+
+// Pos returns the node's deployed position.
+func (n *Node) Pos() geom.Point { return n.pos }
+
+// Alive reports whether the node is still running.
+func (n *Node) Alive() bool { return n.alive }
+
+// DiedAt returns when the node died, and the cause. It returns (0, 0)
+// while the node is alive.
+func (n *Node) DiedAt() (float64, DeathCause) {
+	if n.alive {
+		return 0, 0
+	}
+	return n.diedAt, n.cause
+}
+
+// State returns the node's protocol state.
+func (n *Node) State() core.State { return n.proto.State() }
+
+// Working reports whether the node is alive and in Working mode.
+func (n *Node) Working() bool { return n.alive && n.proto.State() == core.Working }
+
+// Protocol exposes the node's PEAS state machine (read-mostly: tests and
+// metrics use it for rates and counters).
+func (n *Node) Protocol() *core.Protocol { return n.proto }
+
+// Battery exposes the node's battery for energy accounting.
+func (n *Node) Battery() *energy.Battery { return n.battery }
+
+// --- core.Platform implementation ---
+
+// Now returns the simulation time.
+func (n *Node) Now() float64 { return n.network.Engine.Now() }
+
+// After schedules fn on the simulation engine.
+func (n *Node) After(d float64, fn func()) { n.network.Engine.Schedule(d, fn) }
+
+// Broadcast transmits a protocol frame over the shared medium.
+func (n *Node) Broadcast(size int, radius float64, payload any) {
+	if !n.alive {
+		return
+	}
+	n.network.Medium.Broadcast(radio.Packet{
+		From:    radio.NodeID(n.id),
+		Size:    size,
+		Range:   radius,
+		Payload: payload,
+	})
+}
+
+// SetState maps protocol modes onto battery power modes and keeps the
+// scheduled depletion event consistent.
+func (n *Node) SetState(s core.State) {
+	now := n.Now()
+	switch s {
+	case core.Sleeping:
+		n.battery.SetMode(now, energy.Sleep)
+	case core.Probing, core.Working:
+		n.battery.SetMode(now, energy.Idle)
+	case core.Dead:
+		// Battery handling happens in die/failNow.
+	}
+	n.rescheduleDeath()
+	if n.network.OnState != nil {
+		n.network.OnState(n.id, s)
+	}
+}
+
+// Rand returns the node's private random stream.
+func (n *Node) Rand() *stats.RNG { return n.rng }
+
+// --- radio.Receiver implementation ---
+
+// Listening reports whether the radio can receive: the node must be alive
+// and not sleeping.
+func (n *Node) Listening() bool {
+	return n.alive && n.proto.State() != core.Sleeping
+}
+
+// Deliver hands a received frame to the protocol.
+func (n *Node) Deliver(pkt radio.Packet, dist float64) {
+	if !n.alive {
+		return
+	}
+	n.proto.HandleMessage(pkt.Payload, dist)
+	if n.network.OnDeliver != nil {
+		n.network.OnDeliver(n.id, pkt, dist)
+	}
+}
+
+// --- lifecycle ---
+
+func (n *Node) start() {
+	n.alive = true
+	n.proto.Start()
+}
+
+// Fail kills the node immediately with the given cause.
+func (n *Node) Fail(cause DeathCause) {
+	if !n.alive {
+		return
+	}
+	n.battery.Kill(n.Now())
+	n.die(cause)
+}
+
+func (n *Node) die(cause DeathCause) {
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	n.cause = cause
+	n.diedAt = n.Now()
+	if n.deathEvent != nil {
+		n.network.Engine.Cancel(n.deathEvent)
+		n.deathEvent = nil
+	}
+	n.proto.Fail()
+	if n.network.OnDeath != nil {
+		n.network.OnDeath(n.id, cause)
+	}
+}
+
+// rescheduleDeath re-anchors the battery-depletion event after any change
+// to the drain rate or remaining charge.
+func (n *Node) rescheduleDeath() {
+	if !n.alive {
+		return
+	}
+	if n.deathEvent != nil {
+		n.network.Engine.Cancel(n.deathEvent)
+		n.deathEvent = nil
+	}
+	if n.battery.Dead() {
+		n.die(Depletion)
+		return
+	}
+	t := n.battery.DepletionTime(n.Now())
+	if t >= sim.Forever {
+		return
+	}
+	n.deathEvent = n.network.Engine.At(t, func() {
+		n.deathEvent = nil
+		if n.alive && n.battery.Remaining(n.Now()) <= 1e-12 {
+			n.die(Depletion)
+		} else {
+			n.rescheduleDeath()
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"peas/internal/geom"
+	"peas/internal/sim"
+	"peas/internal/stats"
+)
+
+// TestEnergyChargesMatchTraffic is the radio's accounting identity: the
+// transmitter-side airtime charged equals packets-sent times airtime, and
+// every in-range listening receiver is charged exactly once per frame.
+func TestEnergyChargesMatchTraffic(t *testing.T) {
+	field := geom.NewField(30, 30)
+	rng := stats.NewRNG(9)
+	positions := geom.UniformDeploy(field, 40, rng)
+	engine := sim.NewEngine()
+	idx := geom.NewIndex(field, positions, 3)
+	sink := newSinkRecorder()
+	cfg := DefaultConfig()
+	cfg.CSMAEnabled = false // deferrals would split charges across time
+	m := NewMedium(cfg, engine, idx, stats.NewRNG(1), sink)
+	receivers := make([]*stubReceiver, len(positions))
+	for i := range positions {
+		receivers[i] = &stubReceiver{listening: true}
+		m.Attach(NodeID(i), receivers[i])
+	}
+
+	const frames = 200
+	for i := 0; i < frames; i++ {
+		from := NodeID(i % len(positions))
+		delay := float64(i) * 0.05
+		engine.Schedule(delay, func() {
+			m.Broadcast(Packet{From: from, Size: 25, Range: 3})
+		})
+	}
+	engine.Run(sim.Forever)
+
+	airtime := m.Airtime(25)
+	var totalTx float64
+	for _, v := range sink.tx {
+		totalTx += v
+	}
+	sent, _, _, _, _ := m.Stats()
+	if want := float64(sent) * airtime; math.Abs(totalTx-want) > 1e-9 {
+		t.Errorf("tx charges %v != sent x airtime %v", totalTx, want)
+	}
+
+	// Receiver charges: one airtime per (frame, in-range listener).
+	var wantRx float64
+	for i := 0; i < frames; i++ {
+		from := i % len(positions)
+		idx.Within(positions[from], 3, func(j int, _ float64) {
+			if j != from {
+				wantRx += airtime
+			}
+		})
+	}
+	var totalRx float64
+	for _, v := range sink.rx {
+		totalRx += v
+	}
+	if math.Abs(totalRx-wantRx) > 1e-9 {
+		t.Errorf("rx charges %v != expected %v", totalRx, wantRx)
+	}
+}
+
+// TestMediumDeterminism re-runs an identical broadcast storm and checks
+// the counters agree exactly.
+func TestMediumDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		field := geom.NewField(20, 20)
+		positions := geom.UniformDeploy(field, 60, stats.NewRNG(4))
+		engine := sim.NewEngine()
+		idx := geom.NewIndex(field, positions, 3)
+		m := NewMedium(DefaultConfig(), engine, idx, stats.NewRNG(2), newSinkRecorder())
+		for i := range positions {
+			m.Attach(NodeID(i), &stubReceiver{listening: true})
+		}
+		jitter := stats.NewRNG(3)
+		for i := 0; i < 500; i++ {
+			from := NodeID(i % len(positions))
+			engine.Schedule(jitter.Uniform(0, 10), func() {
+				m.Broadcast(Packet{From: from, Size: 25, Range: 3})
+			})
+		}
+		engine.Run(sim.Forever)
+		sent, delivered, collided, _, _ := m.Stats()
+		return sent, delivered, collided
+	}
+	s1, d1, c1 := run()
+	s2, d2, c2 := run()
+	if s1 != s2 || d1 != d2 || c1 != c2 {
+		t.Errorf("medium diverged: (%d,%d,%d) vs (%d,%d,%d)", s1, d1, c1, s2, d2, c2)
+	}
+	if d1 == 0 {
+		t.Error("storm delivered nothing")
+	}
+}

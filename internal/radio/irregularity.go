@@ -1,0 +1,71 @@
+package radio
+
+import (
+	"peas/internal/geom"
+	"peas/internal/stats"
+)
+
+// §4: "In a harsh environment, irregularities in signal attenuation may
+// generate different signal strengths in different areas, thus working
+// nodes in areas with poorer signal reception can be denser than those in
+// other areas. We believe that this is desirable..."
+//
+// The irregularity model assigns each region of the field a reception
+// quality factor q ∈ [1-irr, 1+irr], drawn once per run on a coarse
+// lattice. A receiver at quality q perceives a transmitter at effective
+// distance dist/q: poor-quality areas (q < 1) hear signals as weaker
+// (farther), shrinking the effective probing range there — which makes
+// PEAS keep more workers in exactly those areas.
+
+// qualityField is a coarse per-area reception-quality map.
+type qualityField struct {
+	cell    float64
+	cols    int
+	rows    int
+	factors []float64
+}
+
+// newQualityField draws the per-cell factors. irr = 0 yields uniform 1.0.
+func newQualityField(field geom.Field, irr float64, rng *stats.RNG) *qualityField {
+	const cell = 5.0
+	cols := int(field.Width/cell) + 1
+	rows := int(field.Height/cell) + 1
+	q := &qualityField{cell: cell, cols: cols, rows: rows,
+		factors: make([]float64, cols*rows)}
+	for i := range q.factors {
+		if irr <= 0 {
+			q.factors[i] = 1
+		} else {
+			q.factors[i] = rng.Uniform(1-irr, 1+irr)
+		}
+	}
+	return q
+}
+
+// at returns the quality factor of the area containing p.
+func (q *qualityField) at(p geom.Point) float64 {
+	c := int(p.X / q.cell)
+	r := int(p.Y / q.cell)
+	if c < 0 {
+		c = 0
+	}
+	if c >= q.cols {
+		c = q.cols - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r >= q.rows {
+		r = q.rows - 1
+	}
+	return q.factors[r*q.cols+c]
+}
+
+// QualityAt exposes the reception quality of the area containing p, for
+// the irregularity experiments. It returns 1 when irregularity is off.
+func (m *Medium) QualityAt(p geom.Point) float64 {
+	if m.quality == nil {
+		return 1
+	}
+	return m.quality.at(p)
+}

@@ -1,0 +1,101 @@
+package radio
+
+import (
+	"testing"
+
+	"peas/internal/geom"
+	"peas/internal/sim"
+	"peas/internal/stats"
+)
+
+func TestQualityFieldUniformWhenOff(t *testing.T) {
+	q := newQualityField(geom.NewField(50, 50), 0, stats.NewRNG(1))
+	for x := 0.0; x <= 50; x += 7 {
+		for y := 0.0; y <= 50; y += 7 {
+			if got := q.at(geom.Point{X: x, Y: y}); got != 1 {
+				t.Fatalf("quality at (%v,%v) = %v, want 1", x, y, got)
+			}
+		}
+	}
+}
+
+func TestQualityFieldBounded(t *testing.T) {
+	const irr = 0.4
+	q := newQualityField(geom.NewField(50, 50), irr, stats.NewRNG(2))
+	seenLow, seenHigh := false, false
+	for x := 0.0; x <= 50; x += 2.5 {
+		for y := 0.0; y <= 50; y += 2.5 {
+			v := q.at(geom.Point{X: x, Y: y})
+			if v < 1-irr || v > 1+irr {
+				t.Fatalf("quality %v outside [%v, %v]", v, 1-irr, 1+irr)
+			}
+			if v < 0.9 {
+				seenLow = true
+			}
+			if v > 1.1 {
+				seenHigh = true
+			}
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Error("quality field shows no spatial variation")
+	}
+}
+
+func TestQualityFieldClampsOutside(t *testing.T) {
+	q := newQualityField(geom.NewField(10, 10), 0.2, stats.NewRNG(3))
+	// Out-of-field queries clamp to edge cells rather than panicking.
+	_ = q.at(geom.Point{X: -5, Y: -5})
+	_ = q.at(geom.Point{X: 100, Y: 100})
+}
+
+func TestIrregularityChangesReception(t *testing.T) {
+	// Two nodes near the edge of range: with quality < 1 the receiver
+	// misses the frame; with quality > 1 it hears it. Verify both
+	// behaviours occur across seeds.
+	positions := []geom.Point{{X: 10, Y: 10}, {X: 12.9, Y: 10}}
+	heardWith, heardWithout := 0, 0
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		cfg := DefaultConfig()
+		cfg.Irregularity = 0.4
+		engine := sim.NewEngine()
+		idx := geom.NewIndex(geom.NewField(50, 50), positions, 3)
+		m := NewMedium(cfg, engine, idx, stats.NewRNG(seed), newSinkRecorder())
+		rcv := &stubReceiver{listening: true}
+		m.Attach(0, &stubReceiver{listening: true})
+		m.Attach(1, rcv)
+		m.Broadcast(Packet{From: 0, Size: 25, Range: 3})
+		engine.Run(sim.Forever)
+		if len(rcv.got) > 0 {
+			heardWith++
+		}
+
+		// Control without irregularity: always heard at 2.9 < 3 m.
+		cfg.Irregularity = 0
+		engine2 := sim.NewEngine()
+		m2 := NewMedium(cfg, engine2, idx, stats.NewRNG(seed), newSinkRecorder())
+		rcv2 := &stubReceiver{listening: true}
+		m2.Attach(0, &stubReceiver{listening: true})
+		m2.Attach(1, rcv2)
+		m2.Broadcast(Packet{From: 0, Size: 25, Range: 3})
+		engine2.Run(sim.Forever)
+		if len(rcv2.got) > 0 {
+			heardWithout++
+		}
+	}
+	if heardWithout != trials {
+		t.Errorf("control reception %d/%d", heardWithout, trials)
+	}
+	if heardWith == 0 || heardWith == trials {
+		t.Errorf("irregular reception %d/%d shows no variation", heardWith, trials)
+	}
+}
+
+func TestQualityAtWithoutIrregularity(t *testing.T) {
+	positions := []geom.Point{{X: 1, Y: 1}}
+	m, _, _, _ := testMedium(DefaultConfig(), positions)
+	if m.QualityAt(geom.Point{X: 1, Y: 1}) != 1 {
+		t.Error("quality should be 1 when irregularity is off")
+	}
+}

@@ -1,0 +1,280 @@
+// Package radio simulates the broadcast wireless medium the PEAS protocol
+// runs over. It models what the paper's PARSEC/Motes substrate provided:
+//
+//   - range-limited broadcast with selectable per-packet transmission power
+//     (paper §2: "each sensor node may vary its transmission power and
+//     choose a power level to cover a circular area given a radius");
+//   - finite link capacity (20 Kbps), so a 25-byte PROBE occupies the
+//     channel for 10 ms;
+//   - collisions: a listening node covered by two temporally overlapping
+//     transmissions receives neither;
+//   - optional i.i.d. packet loss (for the §4 loss-compensation study);
+//   - optional fixed-transmission-power mode with a received-signal
+//     threshold filter (paper §4).
+//
+// Energy is charged to the transmitter and to every listening node in
+// range for the packet's airtime.
+package radio
+
+import (
+	"peas/internal/geom"
+	"peas/internal/sim"
+	"peas/internal/stats"
+)
+
+// NodeID identifies a node on the medium; it is the node's index in the
+// deployment.
+type NodeID int
+
+// Packet is a frame on the medium. Payload semantics belong to the
+// protocol layer; the radio only needs the size for airtime and energy.
+type Packet struct {
+	From    NodeID
+	Size    int     // bytes
+	Range   float64 // requested coverage radius, meters
+	Payload any
+}
+
+// Receiver is the protocol-facing endpoint for one node.
+type Receiver interface {
+	// Listening reports whether the node's radio is powered on. Sleeping
+	// nodes return false and receive nothing.
+	Listening() bool
+	// Deliver hands a successfully received packet (with the measured
+	// distance from the transmitter) to the protocol layer.
+	Deliver(pkt Packet, dist float64)
+}
+
+// EnergySink receives per-packet energy charges. The node layer implements
+// it on top of the battery model.
+type EnergySink interface {
+	// SpendTx charges the transmitting node for seconds of airtime.
+	SpendTx(id NodeID, seconds float64)
+	// SpendRx charges a listening node for seconds of airtime.
+	SpendRx(id NodeID, seconds float64)
+}
+
+// Config sets the physical-layer parameters.
+type Config struct {
+	// BitsPerSecond is the raw channel capacity (paper: 20 Kbps).
+	BitsPerSecond float64
+	// MaxRange caps any requested transmission range (paper: 10 m).
+	MaxRange float64
+	// LossRate is an i.i.d. per-receiver drop probability in [0,1).
+	LossRate float64
+	// CollisionsEnabled turns the overlap-collision model on.
+	CollisionsEnabled bool
+	// CSMAEnabled makes transmitters carrier-sense: a node that can hear
+	// an ongoing transmission defers its own until the channel clears,
+	// plus a random backoff. Motes-class radios carrier-sense; without
+	// it, a working node's multiple REPLYs (§4) collide with each other.
+	CSMAEnabled bool
+	// CSMABackoffMax is the maximum random deferral added after the
+	// channel clears, in seconds. Zero selects 5 ms.
+	CSMABackoffMax float64
+	// FixedPower, when true, transmits every packet at MaxRange and lets
+	// receivers apply a signal-strength threshold equivalent to the
+	// requested Range (paper §4, "Nodes with fixed transmission power").
+	FixedPower bool
+	// Irregularity sets the degree of per-area signal-attenuation
+	// irregularity in [0, 1): each ~5 m region draws a reception quality
+	// q in [1-irr, 1+irr] and perceives transmitters at effective
+	// distance dist/q (paper §4). Zero disables the model.
+	Irregularity float64
+}
+
+// DefaultConfig returns the paper's physical layer: 20 Kbps, 10 m maximum
+// range, collisions on, no extra random loss.
+func DefaultConfig() Config {
+	return Config{
+		BitsPerSecond:     20000,
+		MaxRange:          10,
+		LossRate:          0,
+		CollisionsEnabled: true,
+		CSMAEnabled:       true,
+		CSMABackoffMax:    0.005,
+	}
+}
+
+// Medium is the shared broadcast channel.
+type Medium struct {
+	cfg     Config
+	engine  *sim.Engine
+	idx     *geom.Index
+	rng     *stats.RNG
+	nodes   []Receiver
+	sink    EnergySink
+	quality *qualityField // nil when irregularity is off
+	busyEnd []sim.Time    // per-receiver: end of last reception overlapping now
+	corrupt []bool        // per-receiver: current reception window corrupted
+
+	// Counters for the experiment harness.
+	sent      uint64
+	delivered uint64
+	collided  uint64
+	lost      uint64
+	deferred  uint64
+	bytesSent uint64
+}
+
+// NewMedium builds a medium over the deployed positions. Receivers are
+// attached afterwards with Attach, one per deployed point.
+func NewMedium(cfg Config, engine *sim.Engine, idx *geom.Index, rng *stats.RNG, sink EnergySink) *Medium {
+	n := idx.Len()
+	m := &Medium{
+		cfg:     cfg,
+		engine:  engine,
+		idx:     idx,
+		rng:     rng,
+		nodes:   make([]Receiver, n),
+		sink:    sink,
+		busyEnd: make([]sim.Time, n),
+		corrupt: make([]bool, n),
+	}
+	if cfg.Irregularity > 0 {
+		// A coarse per-area field large enough to cover every indexed
+		// position; the field dimensions are recovered from the index.
+		var maxX, maxY float64
+		for i := 0; i < n; i++ {
+			p := idx.At(i)
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+		m.quality = newQualityField(geom.NewField(maxX+1, maxY+1), cfg.Irregularity, rng.Split())
+	}
+	return m
+}
+
+// Attach registers the receiver for node id.
+func (m *Medium) Attach(id NodeID, r Receiver) { m.nodes[id] = r }
+
+// Airtime returns the channel occupancy of a packet of size bytes.
+func (m *Medium) Airtime(size int) float64 {
+	return float64(size) * 8 / m.cfg.BitsPerSecond
+}
+
+// Stats reports medium counters: packets sent, delivered, lost to
+// collisions, lost to random drops, and total bytes transmitted.
+func (m *Medium) Stats() (sent, delivered, collided, lost, bytes uint64) {
+	return m.sent, m.delivered, m.collided, m.lost, m.bytesSent
+}
+
+// Deferred reports how many transmissions carrier sense postponed.
+func (m *Medium) Deferred() uint64 { return m.deferred }
+
+// Broadcast transmits pkt from its sender's deployed position. Delivery
+// callbacks run one airtime later. The transmitter is charged airtime at
+// TX power; every listening node inside the physical coverage is charged
+// airtime at RX power whether or not the frame survives.
+func (m *Medium) Broadcast(pkt Packet) {
+	if pkt.Range > m.cfg.MaxRange {
+		pkt.Range = m.cfg.MaxRange
+	}
+	if pkt.Range <= 0 {
+		return
+	}
+	airtime := m.Airtime(pkt.Size)
+	now := m.engine.Now()
+
+	// Carrier sense: defer while the channel is audibly busy at the
+	// transmitter (including its own previous transmission).
+	if m.cfg.CSMAEnabled && m.busyEnd[pkt.From] > now {
+		backoffMax := m.cfg.CSMABackoffMax
+		if backoffMax <= 0 {
+			backoffMax = 0.005
+		}
+		m.deferred++
+		delay := m.busyEnd[pkt.From] - now + m.rng.Uniform(0, backoffMax)
+		m.engine.Schedule(delay, func() { m.Broadcast(pkt) })
+		return
+	}
+	m.sent++
+	m.bytesSent += uint64(pkt.Size)
+	m.sink.SpendTx(pkt.From, airtime)
+
+	// Physical coverage: with fixed power the signal reaches MaxRange and
+	// receivers filter by strength; with variable power it reaches
+	// exactly the requested range.
+	physRange := pkt.Range
+	if m.cfg.FixedPower {
+		physRange = m.cfg.MaxRange
+	}
+
+	center := m.idx.At(int(pkt.From))
+	end := now + airtime
+	// The transmitter occupies its own channel for the airtime, so its
+	// next carrier-sensed transmission starts after this one ends.
+	if end > m.busyEnd[pkt.From] {
+		m.busyEnd[pkt.From] = end
+	}
+	// With irregular attenuation, good-reception areas hear farther.
+	queryRange := physRange
+	if m.quality != nil {
+		queryRange = physRange * (1 + m.cfg.Irregularity)
+	}
+	m.idx.Within(center, queryRange, func(i int, dist float64) {
+		if NodeID(i) == pkt.From {
+			return
+		}
+		rcv := m.nodes[i]
+		if rcv == nil || !rcv.Listening() {
+			return
+		}
+		if m.quality != nil {
+			// Effective distance at the receiver's area quality.
+			dist = dist / m.quality.at(m.idx.At(i))
+			if dist > physRange {
+				return
+			}
+		}
+		m.sink.SpendRx(NodeID(i), airtime)
+
+		corrupted := false
+		if m.cfg.CollisionsEnabled {
+			if m.busyEnd[i] > now {
+				// Overlapping reception: both frames are lost.
+				m.corrupt[i] = true
+				corrupted = true
+				m.collided++
+			} else {
+				m.corrupt[i] = false
+			}
+			if end > m.busyEnd[i] {
+				m.busyEnd[i] = end
+			}
+		}
+		if !corrupted && m.cfg.LossRate > 0 && m.rng.Float64() < m.cfg.LossRate {
+			m.lost++
+			return
+		}
+		// Threshold filter under fixed power: the receiver only reacts
+		// to frames whose strength corresponds to the requested range.
+		if m.cfg.FixedPower && dist > pkt.Range {
+			return
+		}
+		p, d := pkt, dist
+		idx := i
+		m.engine.At(end, func() {
+			m.deliver(idx, p, d)
+		})
+	})
+}
+
+func (m *Medium) deliver(i int, pkt Packet, dist float64) {
+	rcv := m.nodes[i]
+	if rcv == nil || !rcv.Listening() {
+		// The node slept or died while the frame was in flight.
+		return
+	}
+	if m.cfg.CollisionsEnabled && m.corrupt[i] {
+		// The window this frame belonged to was corrupted by overlap.
+		// The flag resets when a new non-overlapping window starts.
+		return
+	}
+	m.delivered++
+	rcv.Deliver(pkt, dist)
+}

@@ -1,0 +1,166 @@
+// Package render draws deployment snapshots: an ASCII map for terminals
+// and an SVG with sensing-range discs for reports. cmd/peas-sim emits
+// both via -ascii and -svg.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"peas/internal/core"
+	"peas/internal/geom"
+	"peas/internal/node"
+)
+
+// Glyphs of the ASCII map.
+const (
+	GlyphEmpty    = '.'
+	GlyphSleeping = 's'
+	GlyphProbing  = 'p'
+	GlyphWorking  = 'W'
+	GlyphDead     = 'x'
+)
+
+// ASCII renders the network as a character grid, one cell per `cell`
+// meters. When several nodes share a cell the "strongest" state wins
+// (working > probing > sleeping > dead).
+func ASCII(net *node.Network, cell float64) string {
+	if cell <= 0 {
+		cell = 2
+	}
+	cols := int(net.Field.Width/cell) + 1
+	rows := int(net.Field.Height/cell) + 1
+	grid := make([]rune, cols*rows)
+	for i := range grid {
+		grid[i] = GlyphEmpty
+	}
+	rank := func(r rune) int {
+		switch r {
+		case GlyphWorking:
+			return 4
+		case GlyphProbing:
+			return 3
+		case GlyphSleeping:
+			return 2
+		case GlyphDead:
+			return 1
+		default:
+			return 0
+		}
+	}
+	for _, n := range net.Nodes {
+		p := n.Pos()
+		c := int(p.X / cell)
+		r := int(p.Y / cell)
+		if c >= cols {
+			c = cols - 1
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		g := glyphFor(n)
+		at := r*cols + c
+		if rank(g) > rank(grid[at]) {
+			grid[at] = g
+		}
+	}
+	var b strings.Builder
+	// Draw north-up: row 0 is the top (max Y).
+	for r := rows - 1; r >= 0; r-- {
+		for c := 0; c < cols; c++ {
+			b.WriteRune(grid[r*cols+c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func glyphFor(n *node.Node) rune {
+	if !n.Alive() {
+		return GlyphDead
+	}
+	switch n.State() {
+	case core.Working:
+		return GlyphWorking
+	case core.Probing:
+		return GlyphProbing
+	case core.Sleeping:
+		return GlyphSleeping
+	default:
+		return GlyphDead
+	}
+}
+
+// SVGOptions controls the vector snapshot.
+type SVGOptions struct {
+	// Scale is pixels per meter (0 selects 10).
+	Scale float64
+	// SensingRange, when positive, draws a translucent disc of that
+	// radius around each working node so coverage is visible.
+	SensingRange float64
+	// Title is an optional caption.
+	Title string
+}
+
+// SVG writes a vector snapshot of the network.
+func SVG(w io.Writer, net *node.Network, opts SVGOptions) error {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 10
+	}
+	width := net.Field.Width * scale
+	height := net.Field.Height * scale
+	// SVG y grows downward; flip so north is up.
+	flip := func(p geom.Point) (float64, float64) {
+		return p.X * scale, height - p.Y*scale
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="#fcfcf8"/>`+"\n", width, height)
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<title>%s</title>`+"\n", xmlEscape(opts.Title))
+	}
+	// Coverage discs first so nodes draw on top.
+	if opts.SensingRange > 0 {
+		for _, n := range net.Nodes {
+			if !n.Alive() || n.State() != core.Working {
+				continue
+			}
+			x, y := flip(n.Pos())
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#7dbb6f" fill-opacity="0.10"/>`+"\n",
+				x, y, opts.SensingRange*scale)
+		}
+	}
+	for _, n := range net.Nodes {
+		x, y := flip(n.Pos())
+		color, r := nodeStyle(n)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func nodeStyle(n *node.Node) (color string, radius float64) {
+	if !n.Alive() {
+		return "#c0c0c0", 2
+	}
+	switch n.State() {
+	case core.Working:
+		return "#1a7f37", 4
+	case core.Probing:
+		return "#b58900", 3
+	case core.Sleeping:
+		return "#4078c0", 2
+	default:
+		return "#c0c0c0", 2
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

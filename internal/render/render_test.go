@@ -1,0 +1,97 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"peas/internal/node"
+)
+
+func testNet(t *testing.T) *node.Network {
+	t.Helper()
+	net, err := node.NewNetwork(node.DefaultConfig(120, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	net.Run(300)
+	return net
+}
+
+func TestASCIIShape(t *testing.T) {
+	net := testNet(t)
+	out := ASCII(net, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 26 { // 50/2 + 1
+		t.Fatalf("rows = %d", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 26 {
+			t.Fatalf("row %d has %d cols", i, len(l))
+		}
+	}
+	if !strings.ContainsRune(out, GlyphWorking) {
+		t.Error("no working glyph in map")
+	}
+	if !strings.ContainsRune(out, GlyphSleeping) {
+		t.Error("no sleeping glyph in map")
+	}
+}
+
+func TestASCIIDefaultCell(t *testing.T) {
+	net := testNet(t)
+	if ASCII(net, 0) != ASCII(net, 2) {
+		t.Error("zero cell should default to 2 m")
+	}
+}
+
+func TestASCIIStrongestStateWins(t *testing.T) {
+	net := testNet(t)
+	// At a 50 m cell everything lands in one character: it must be 'W'.
+	out := strings.TrimSpace(ASCII(net, 50))
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.ContainsRune(l, GlyphWorking) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("coarse map lost the working state:\n%s", out)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	net := testNet(t)
+	var b strings.Builder
+	err := SVG(&b, net, SVGOptions{SensingRange: 10, Title: `a<b>&"c"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "fill-opacity", "&lt;b&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(out, `<title>a<b>`) {
+		t.Error("title not escaped")
+	}
+	// One disc per working node plus one dot per node.
+	working := net.WorkingCount()
+	circles := strings.Count(out, "<circle")
+	if circles != working+len(net.Nodes) {
+		t.Errorf("circles = %d, want %d", circles, working+len(net.Nodes))
+	}
+}
+
+func TestSVGNoDiscsWithoutRange(t *testing.T) {
+	net := testNet(t)
+	var b strings.Builder
+	if err := SVG(&b, net, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "<circle"); got != len(net.Nodes) {
+		t.Errorf("circles = %d, want %d", got, len(net.Nodes))
+	}
+}

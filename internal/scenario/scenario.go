@@ -1,0 +1,120 @@
+// Package scenario loads and saves simulation scenarios as JSON files,
+// so experiments are shareable and reviewable without code changes
+// (cmd/peas-sim -config).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"peas/internal/experiment"
+	"peas/internal/node"
+)
+
+// Scenario is the JSON schema of a full run configuration. Zero-valued
+// fields inherit the paper's defaults.
+type Scenario struct {
+	Name string `json:"name,omitempty"`
+
+	// Deployment.
+	Nodes       int     `json:"nodes"`
+	Seed        int64   `json:"seed,omitempty"`
+	FieldWidth  float64 `json:"fieldWidth,omitempty"`
+	FieldHeight float64 `json:"fieldHeight,omitempty"`
+
+	// Protocol.
+	ProbingRange   float64 `json:"probingRange,omitempty"`
+	InitialRate    float64 `json:"initialRate,omitempty"`
+	DesiredRate    float64 `json:"desiredRate,omitempty"`
+	EstimatorK     int     `json:"estimatorK,omitempty"`
+	NumProbes      int     `json:"numProbes,omitempty"`
+	ProbeWindowSec float64 `json:"probeWindowSec,omitempty"`
+	Turnoff        *bool   `json:"turnoff,omitempty"`
+
+	// Radio.
+	LossRate     float64 `json:"lossRate,omitempty"`
+	FixedPower   bool    `json:"fixedPower,omitempty"`
+	Irregularity float64 `json:"irregularity,omitempty"`
+
+	// Workload and faults.
+	FailuresPer5000s float64 `json:"failuresPer5000s,omitempty"`
+	HorizonSec       float64 `json:"horizonSec,omitempty"`
+	Forwarding       *bool   `json:"forwarding,omitempty"`
+}
+
+// Load reads a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("parse scenario %s: %w", path, err)
+	}
+	if s.Nodes <= 0 {
+		return nil, fmt.Errorf("scenario %s: nodes must be positive", path)
+	}
+	return &s, nil
+}
+
+// Save writes the scenario as indented JSON.
+func (s *Scenario) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal scenario: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunConfig converts the scenario to an executable configuration,
+// filling the paper's defaults for every omitted field.
+func (s *Scenario) RunConfig() experiment.RunConfig {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	netCfg := node.DefaultConfig(s.Nodes, seed)
+	if s.FieldWidth > 0 {
+		netCfg.Field.Width = s.FieldWidth
+	}
+	if s.FieldHeight > 0 {
+		netCfg.Field.Height = s.FieldHeight
+	}
+	if s.ProbingRange > 0 {
+		netCfg.Protocol.ProbingRange = s.ProbingRange
+	}
+	if s.InitialRate > 0 {
+		netCfg.Protocol.InitialRate = s.InitialRate
+	}
+	if s.DesiredRate > 0 {
+		netCfg.Protocol.DesiredRate = s.DesiredRate
+	}
+	if s.EstimatorK > 0 {
+		netCfg.Protocol.EstimatorK = s.EstimatorK
+	}
+	if s.NumProbes > 0 {
+		netCfg.Protocol.NumProbes = s.NumProbes
+	}
+	if s.ProbeWindowSec > 0 {
+		netCfg.Protocol.ProbeWindow = s.ProbeWindowSec
+	}
+	if s.Turnoff != nil {
+		netCfg.Protocol.TurnoffEnabled = *s.Turnoff
+	}
+	netCfg.Radio.LossRate = s.LossRate
+	netCfg.Radio.FixedPower = s.FixedPower
+	netCfg.Radio.Irregularity = s.Irregularity
+
+	cfg := experiment.RunConfig{
+		Network:          netCfg,
+		FailuresPer5000s: s.FailuresPer5000s,
+		Horizon:          s.HorizonSec,
+		Forwarding:       true,
+	}
+	if s.Forwarding != nil {
+		cfg.Forwarding = *s.Forwarding
+	}
+	return cfg
+}

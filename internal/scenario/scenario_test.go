@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"peas/internal/experiment"
+)
+
+func TestRoundTrip(t *testing.T) {
+	off := false
+	s := &Scenario{
+		Name:             "harsh",
+		Nodes:            480,
+		Seed:             7,
+		ProbingRange:     4,
+		DesiredRate:      1.0 / 300,
+		LossRate:         0.1,
+		FailuresPer5000s: 26.66,
+		HorizonSec:       2000,
+		Forwarding:       &off,
+	}
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "harsh" || back.Nodes != 480 || back.ProbingRange != 4 ||
+		back.Forwarding == nil || *back.Forwarding {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nodes:"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	s := &Scenario{Nodes: 160}
+	cfg := s.RunConfig()
+	if cfg.Network.N != 160 || cfg.Network.Seed != 1 {
+		t.Errorf("basic fields: %+v", cfg.Network)
+	}
+	// Paper defaults survive.
+	if cfg.Network.Protocol.ProbingRange != 3 || cfg.Network.Protocol.DesiredRate != 0.02 {
+		t.Errorf("protocol defaults: %+v", cfg.Network.Protocol)
+	}
+	if !cfg.Forwarding {
+		t.Error("forwarding should default on")
+	}
+	if cfg.Network.Field.Width != 50 || cfg.Network.Field.Height != 50 {
+		t.Errorf("field defaults: %+v", cfg.Network.Field)
+	}
+}
+
+func TestRunConfigOverrides(t *testing.T) {
+	on := true
+	s := &Scenario{
+		Nodes:        100,
+		FieldWidth:   30,
+		FieldHeight:  20,
+		ProbingRange: 5,
+		EstimatorK:   16,
+		NumProbes:    1,
+		Turnoff:      &on,
+		Irregularity: 0.3,
+		FixedPower:   true,
+	}
+	cfg := s.RunConfig()
+	if cfg.Network.Field.Width != 30 || cfg.Network.Field.Height != 20 {
+		t.Errorf("field: %+v", cfg.Network.Field)
+	}
+	if cfg.Network.Protocol.ProbingRange != 5 || cfg.Network.Protocol.EstimatorK != 16 ||
+		cfg.Network.Protocol.NumProbes != 1 {
+		t.Errorf("protocol: %+v", cfg.Network.Protocol)
+	}
+	if !cfg.Network.Radio.FixedPower || cfg.Network.Radio.Irregularity != 0.3 {
+		t.Errorf("radio: %+v", cfg.Network.Radio)
+	}
+}
+
+func TestScenarioRuns(t *testing.T) {
+	s := &Scenario{Nodes: 80, Seed: 3, HorizonSec: 400}
+	rs, err := experiment.Run(s.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Wakeups == 0 || rs.MeanWorking <= 0 {
+		t.Errorf("scenario run produced nothing: %+v", rs)
+	}
+}

@@ -1,0 +1,171 @@
+// Package sim implements the deterministic discrete-event engine the PEAS
+// evaluation runs on. The paper used PARSEC; this engine provides the same
+// facilities — a virtual clock, scheduled callbacks, and cancellable timers
+// — with exact reproducibility: a run is a pure function of the initial
+// schedule and the RNG seeds used by the model code.
+//
+// The engine is single-threaded. Model code runs inside event callbacks and
+// must not retain the engine across goroutines.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Time is a simulation timestamp in seconds since the start of the run.
+type Time = float64
+
+// Forever is a timestamp later than any event the engine will execute.
+const Forever Time = math.MaxFloat64
+
+// Event is a scheduled callback. The zero Event is invalid; obtain events
+// through Engine.Schedule or Engine.At.
+type Event struct {
+	when     Time
+	seq      uint64
+	index    int // heap position, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// Time returns the timestamp the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous events
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulator core.
+type Engine struct {
+	now      Time
+	seq      uint64
+	queue    eventQueue
+	executed uint64
+	stopped  bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty schedule.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay seconds of simulated time. A zero delay runs
+// fn after all previously scheduled events at the current instant.
+// Negative delays are clamped to zero; model code that needs to detect
+// negative delays should validate before calling.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute simulation time when. Times in the past are
+// clamped to the current instant.
+func (e *Engine) At(when Time, fn func()) *Event {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	ev := &Event{when: when, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes ev from the schedule. Cancelling a nil, already-executed,
+// or already-cancelled event is a no-op, so model code can cancel
+// unconditionally.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+}
+
+// Stop makes the current Run call return after the executing event
+// completes. Subsequent Run calls resume from the stop point.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the schedule empties or the
+// clock would pass until. On return the clock is at the time of the last
+// executed event, or at until if the run was exhausted by the horizon.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.when > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.when
+		e.executed++
+		next.fn()
+	}
+	if e.now < until && until != Forever {
+		e.now = until
+	}
+}
+
+// Step executes exactly one event and reports whether one was available.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&e.queue).(*Event)
+	if !ok {
+		return false
+	}
+	e.now = ev.when
+	e.executed++
+	ev.fn()
+	return true
+}

@@ -1,0 +1,67 @@
+package sim
+
+// Timer is a restartable single-shot timer bound to an Engine. It mirrors
+// the shape of time.Timer so protocol code reads naturally in both the
+// simulator and the live runtime.
+type Timer struct {
+	engine *Engine
+	event  *Event
+	fn     func()
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	return &Timer{engine: e, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after delay. An armed timer is
+// cancelled first, so at most one firing is pending at a time.
+func (t *Timer) Reset(delay Time) {
+	t.Stop()
+	t.event = t.engine.Schedule(delay, t.fire)
+}
+
+func (t *Timer) fire() {
+	t.event = nil
+	t.fn()
+}
+
+// Stop disarms the timer. Stopping an unarmed timer is a no-op.
+func (t *Timer) Stop() {
+	if t.event != nil {
+		t.engine.Cancel(t.event)
+		t.event = nil
+	}
+}
+
+// Armed reports whether a firing is pending.
+func (t *Timer) Armed() bool { return t.event != nil }
+
+// Ticker repeatedly invokes a callback at a fixed period until stopped.
+type Ticker struct {
+	engine *Engine
+	event  *Event
+	period Time
+	fn     func()
+}
+
+// NewTicker returns a started ticker that calls fn every period seconds,
+// with the first call after one full period.
+func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.event = e.Schedule(period, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	t.event = t.engine.Schedule(t.period, t.tick)
+	t.fn()
+}
+
+// Stop halts future ticks. Stop is idempotent.
+func (t *Ticker) Stop() {
+	if t.event != nil {
+		t.engine.Cancel(t.event)
+		t.event = nil
+	}
+}

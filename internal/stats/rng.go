@@ -1,0 +1,96 @@
+// Package stats provides the random-number distributions and statistical
+// helpers used throughout the PEAS simulator: seeded RNG streams,
+// exponential/uniform/Poisson sampling, summary statistics and confidence
+// intervals, and a union-find structure used for connectivity analysis.
+//
+// The simulator must be exactly reproducible from (config, seed), so this
+// package wraps math/rand with explicitly named streams rather than relying
+// on a global source.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random stream. It is a thin wrapper over
+// math/rand.Rand that adds the distributions the PEAS model needs.
+//
+// RNG is not safe for concurrent use; the discrete-event simulator is
+// single-threaded by design, and each concurrent component must own its
+// own stream (see Split).
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream from the parent. The child is
+// seeded from the parent's sequence, so distinct calls yield distinct
+// streams while remaining a pure function of the root seed.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.src.Int63())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Exp returns an exponentially distributed sample with rate lambda, i.e.
+// mean 1/lambda. This is the sleeping-duration distribution of PEAS
+// (paper §2.1: f(ts) = λ e^{-λ ts}).
+//
+// Exp panics if lambda <= 0: a non-positive probing rate would make a node
+// sleep forever, which is always a configuration error.
+func (r *RNG) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("stats: Exp requires lambda > 0")
+	}
+	return r.src.ExpFloat64() / lambda
+}
+
+// Poisson returns a Poisson-distributed sample with the given mean, using
+// Knuth's method for small means and a normal approximation for large ones.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		// Normal approximation; adequate for the failure-count draws
+		// used by the experiment harness.
+		n := int(math.Round(mean + math.Sqrt(mean)*r.Normal()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	limit := math.Exp(-mean)
+	n := 0
+	for p := r.src.Float64(); p > limit; p *= r.src.Float64() {
+		n++
+	}
+	return n
+}
+
+// Normal returns a standard normal sample.
+func (r *RNG) Normal() float64 { return r.src.NormFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }

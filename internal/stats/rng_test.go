@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	root := NewRNG(1)
+	c1, c2 := root.Split(), root.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams produced %d/100 equal samples", same)
+	}
+}
+
+func TestRNGSplitReproducible(t *testing.T) {
+	a := NewRNG(7).Split()
+	b := NewRNG(7).Split()
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Split is not a pure function of the parent seed")
+		}
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	tests := []struct {
+		name   string
+		lambda float64
+	}{
+		{"paper-initial-rate", 0.1},
+		{"paper-desired-rate", 0.02},
+		{"unit", 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := NewRNG(3)
+			const n = 200000
+			var sum, sumSq float64
+			for i := 0; i < n; i++ {
+				x := rng.Exp(tc.lambda)
+				if x < 0 {
+					t.Fatalf("negative exponential sample %v", x)
+				}
+				sum += x
+				sumSq += x * x
+			}
+			mean := sum / n
+			wantMean := 1 / tc.lambda
+			if math.Abs(mean-wantMean)/wantMean > 0.02 {
+				t.Errorf("mean = %v, want ≈ %v", mean, wantMean)
+			}
+			variance := sumSq/n - mean*mean
+			wantVar := 1 / (tc.lambda * tc.lambda)
+			if math.Abs(variance-wantVar)/wantVar > 0.05 {
+				t.Errorf("variance = %v, want ≈ %v", variance, wantVar)
+			}
+		})
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) should panic")
+		}
+	}()
+	NewRNG(1).Exp(0)
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := NewRNG(5)
+	err := quick.Check(func(seed int64) bool {
+		lo, hi := 2.0, 9.5
+		x := rng.Uniform(lo, hi)
+		return x >= lo && x < hi
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.5, 4, 32, 200} {
+		rng := NewRNG(11)
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(rng.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if NewRNG(1).Poisson(0) != 0 {
+		t.Error("Poisson(0) must be 0")
+	}
+	if NewRNG(1).Poisson(-1) != 0 {
+		t.Error("Poisson(-1) must be 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := NewRNG(9)
+	p := rng.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want Summary
+	}{
+		{
+			name: "empty",
+			in:   nil,
+			want: Summary{},
+		},
+		{
+			name: "single",
+			in:   []float64{5},
+			want: Summary{N: 1, Mean: 5, Min: 5, Max: 5, Median: 5},
+		},
+		{
+			name: "odd",
+			in:   []float64{3, 1, 2},
+			want: Summary{N: 3, Mean: 2, StdDev: 1, Min: 1, Max: 3, Median: 2},
+		},
+		{
+			name: "even",
+			in:   []float64{4, 1, 3, 2},
+			want: Summary{N: 4, Mean: 2.5, StdDev: math.Sqrt(5.0 / 3), Min: 1, Max: 4, Median: 2.5},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Summarize(tc.in)
+			if got.N != tc.want.N || !close(got.Mean, tc.want.Mean) ||
+				!close(got.StdDev, tc.want.StdDev) || !close(got.Median, tc.want.Median) {
+				t.Errorf("got %+v, want %+v", got, tc.want)
+			}
+			if tc.want.N > 0 && (got.Min != tc.want.Min || got.Max != tc.want.Max) {
+				t.Errorf("min/max: got %v/%v want %v/%v", got.Min, got.Max, tc.want.Min, tc.want.Max)
+			}
+		})
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) == 0 {
+			return Mean(xs) == 0
+		}
+		m := Mean(xs)
+		s := Summarize(xs)
+		return m >= s.Min-1e-9 && m <= s.Max+1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{160, 320, 480, 640, 800}
+	y := make([]float64, len(x))
+	for i, xi := range x {
+		y[i] = 37.5*xi + 600 // the paper's Fig. 10 trend
+	}
+	slope, intercept := LinearFit(x, y)
+	if !close(slope, 37.5) || !close(intercept, 600) {
+		t.Errorf("fit = (%v, %v), want (37.5, 600)", slope, intercept)
+	}
+	if r := PearsonR(x, y); !close(r, 1) {
+		t.Errorf("r = %v, want 1", r)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	slope, intercept := LinearFit([]float64{2, 2, 2}, []float64{1, 5, 9})
+	if slope != 0 || !close(intercept, 5) {
+		t.Errorf("constant x: got (%v, %v), want (0, 5)", slope, intercept)
+	}
+	if s, i := LinearFit(nil, nil); s != 0 || i != 0 {
+		t.Errorf("empty: got (%v, %v)", s, i)
+	}
+	if s, i := LinearFit([]float64{1}, []float64{2, 3}); s != 0 || i != 0 {
+		t.Errorf("mismatched lengths: got (%v, %v)", s, i)
+	}
+}
+
+func TestPearsonRSign(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if r := PearsonR(x, []float64{8, 6, 4, 2}); !close(r, -1) {
+		t.Errorf("anti-correlated r = %v, want -1", r)
+	}
+	if r := PearsonR(x, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("constant y r = %v, want 0", r)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := NewRNG(17)
+	small := make([]float64, 20)
+	large := make([]float64, 2000)
+	for i := range small {
+		small[i] = rng.Normal()
+	}
+	for i := range large {
+		large[i] = rng.Normal()
+	}
+	if CI95(small) <= CI95(large) {
+		t.Errorf("CI95: small-sample %v should exceed large-sample %v",
+			CI95(small), CI95(large))
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Error("CI95 of a single point must be 0")
+	}
+}

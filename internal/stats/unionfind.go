@@ -1,0 +1,59 @@
+package stats
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression. The connectivity analysis of the working-node set (paper
+// §3) uses it to count connected components.
+type UnionFind struct {
+	parent []int
+	rank   []byte
+	count  int
+}
+
+// NewUnionFind returns a forest of n singleton sets labelled 0..n-1.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing a and b and reports whether they were
+// previously distinct.
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Components returns the number of disjoint sets remaining.
+func (u *UnionFind) Components() int { return u.count }
+
+// Len returns the number of elements in the forest.
+func (u *UnionFind) Len() int { return len(u.parent) }

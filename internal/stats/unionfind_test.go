@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Components() != 5 || uf.Len() != 5 {
+		t.Fatalf("fresh forest: components=%d len=%d", uf.Components(), uf.Len())
+	}
+	if !uf.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeated union should not merge")
+	}
+	if !uf.Connected(0, 1) {
+		t.Error("0 and 1 should be connected")
+	}
+	if uf.Connected(0, 2) {
+		t.Error("0 and 2 should not be connected")
+	}
+	if uf.Components() != 4 {
+		t.Errorf("components = %d, want 4", uf.Components())
+	}
+}
+
+func TestUnionFindTransitivity(t *testing.T) {
+	uf := NewUnionFind(10)
+	uf.Union(0, 1)
+	uf.Union(1, 2)
+	uf.Union(2, 3)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if !uf.Connected(i, j) {
+				t.Errorf("%d and %d should be connected", i, j)
+			}
+		}
+	}
+}
+
+// TestUnionFindMatchesNaive cross-checks against a brute-force reference
+// over random union sequences.
+func TestUnionFindMatchesNaive(t *testing.T) {
+	err := quick.Check(func(pairs []struct{ A, B uint8 }) bool {
+		const n = 32
+		uf := NewUnionFind(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i, l := range labels {
+				if l == from {
+					labels[i] = to
+				}
+			}
+		}
+		for _, p := range pairs {
+			a, b := int(p.A)%n, int(p.B)%n
+			uf.Union(a, b)
+			if labels[a] != labels[b] {
+				relabel(labels[a], labels[b])
+			}
+		}
+		distinct := map[int]bool{}
+		for i := 0; i < n; i++ {
+			distinct[labels[i]] = true
+			for j := 0; j < n; j++ {
+				if uf.Connected(i, j) != (labels[i] == labels[j]) {
+					return false
+				}
+			}
+		}
+		return uf.Components() == len(distinct)
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL feeds arbitrary text to the trace parser: it must never
+// panic, and whatever events it accepts must survive a write/read round
+// trip.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"t":1,"kind":"state","node":2,"detail":"working"}`)
+	f.Add(`{"t":1}` + "\n" + `{"t":2,"kind":"death","node":0}`)
+	f.Add(`garbage`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		r := NewRecorder(0)
+		for _, ev := range events {
+			r.Record(ev)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSONL(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(back))
+		}
+		for i := range back {
+			if back[i] != events[i] {
+				t.Fatalf("event %d changed: %#v -> %#v", i, events[i], back[i])
+			}
+		}
+	})
+}

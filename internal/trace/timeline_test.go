@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"peas/internal/node"
+)
+
+func timelineEvents() []Event {
+	return []Event{
+		{T: 0, Kind: KindState, Node: 0, Detail: "sleeping"},
+		{T: 0, Kind: KindState, Node: 1, Detail: "sleeping"},
+		{T: 5, Kind: KindState, Node: 0, Detail: "probing"},
+		{T: 5.1, Kind: KindState, Node: 0, Detail: "working"},
+		{T: 9, Kind: KindState, Node: 1, Detail: "probing"},
+		{T: 9.1, Kind: KindState, Node: 1, Detail: "sleeping"},
+		{T: 100, Kind: KindDeath, Node: 0, Detail: "failure"},
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := Timeline(timelineEvents())
+	if len(tl) != 7 {
+		t.Fatalf("points = %d", len(tl))
+	}
+	// After the working transition at t=5.1: 1 working, 1 sleeping.
+	p := tl[3]
+	if p.Working != 1 || p.Sleeping != 1 || p.Dead != 0 {
+		t.Errorf("t=5.1 point %+v", p)
+	}
+	// Final point: node 0 dead, node 1 sleeping.
+	final := tl[len(tl)-1]
+	if final.Working != 0 || final.Dead != 1 || final.Sleeping != 1 {
+		t.Errorf("final point %+v", final)
+	}
+}
+
+func TestTimelineIgnoresPackets(t *testing.T) {
+	events := append(timelineEvents(), Event{T: 50, Kind: KindPacket, Node: 0})
+	if len(Timeline(events)) != 7 {
+		t.Error("packet events should not add timeline points")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	tl := make([]TimelinePoint, 100)
+	for i := range tl {
+		tl[i] = TimelinePoint{T: float64(i)}
+	}
+	ds := Downsample(tl, 10)
+	if len(ds) != 10 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	if ds[0].T != 0 || ds[9].T != 99 {
+		t.Errorf("endpoints %v %v", ds[0].T, ds[9].T)
+	}
+	if got := Downsample(tl, 0); len(got) != 100 {
+		t.Error("n=0 should keep everything")
+	}
+	if got := Downsample(tl[:5], 10); len(got) != 5 {
+		t.Error("short input unchanged")
+	}
+}
+
+func TestFormatTimeline(t *testing.T) {
+	out := FormatTimeline(Timeline(timelineEvents()), 20)
+	if !strings.Contains(out, "working nodes over time") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "W=1") {
+		t.Errorf("working count missing:\n%s", out)
+	}
+	if FormatTimeline(nil, 10) != "(empty timeline)\n" {
+		t.Error("empty timeline rendering")
+	}
+}
+
+func TestDeathTimesSorted(t *testing.T) {
+	events := []Event{
+		{T: 9, Kind: KindDeath, Node: 2},
+		{T: 3, Kind: KindDeath, Node: 1},
+		{T: 5, Kind: KindState, Node: 0, Detail: "working"},
+	}
+	deaths := DeathTimes(events)
+	if len(deaths) != 2 || deaths[0].Node != 1 || deaths[1].Node != 2 {
+		t.Errorf("deaths %+v", deaths)
+	}
+}
+
+// TestTimelineFromRealTrace runs a short simulation and checks the
+// reconstructed timeline agrees with the network's final state.
+func TestTimelineFromRealTrace(t *testing.T) {
+	net, err := node.NewNetwork(node.DefaultConfig(60, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder(0)
+	Attach(r, net)
+	net.Start()
+	net.Run(400)
+
+	tl := Timeline(r.Events())
+	if len(tl) == 0 {
+		t.Fatal("empty timeline")
+	}
+	final := tl[len(tl)-1]
+	if final.Working != net.WorkingCount() {
+		t.Errorf("timeline working %d != network %d", final.Working, net.WorkingCount())
+	}
+	if final.Working+final.Sleeping+final.Probing+final.Dead != 60 {
+		t.Errorf("timeline does not account for all nodes: %+v", final)
+	}
+}

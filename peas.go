@@ -1,0 +1,249 @@
+// Package peas is a Go implementation and evaluation harness for PEAS
+// (Probing Environment and Adaptive Sleeping), the robust energy-conserving
+// protocol for long-lived sensor networks by Ye, Zhong, Cheng, Lu and
+// Zhang (ICDCS 2003).
+//
+// PEAS extends a sensor network's lifetime by keeping only a necessary set
+// of nodes working and putting the rest to sleep. Sleeping nodes wake up
+// at exponentially distributed intervals, PROBE their neighborhood within
+// a probing range Rp, and go back to sleep if any working node REPLYs;
+// otherwise they start working until they die. Working nodes measure the
+// aggregate probing rate of their sleeping neighbors and feed it back in
+// REPLYs so each sleeper tunes its wakeup rate toward a desired aggregate
+// rate λd — all without any per-neighbor state.
+//
+// The package offers three layers:
+//
+//   - a deterministic packet-level simulator (NewNetwork / Run) with the
+//     paper's Motes-like radio and battery models, coverage and
+//     connectivity analysis, failure injection, and a GRAB-like data
+//     delivery workload;
+//   - the full evaluation harness (DeploymentSweep, FailureSweep, and the
+//     §2-§4 studies) regenerating every figure and table of the paper;
+//   - a live runtime (package peasnet) where each node is a goroutine
+//     over a pluggable transport, running the same protocol state machine
+//     as the simulator.
+//
+// # Quick start
+//
+//	cfg := peas.DefaultRunConfig(160, 1)
+//	res, err := peas.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("4-coverage lifetime: %.0f s\n", res.CoverageLifetime[3])
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package peas
+
+import (
+	"io"
+
+	"peas/internal/core"
+	"peas/internal/energy"
+	"peas/internal/experiment"
+	"peas/internal/geom"
+	"peas/internal/node"
+	"peas/internal/radio"
+	"peas/internal/render"
+	"peas/internal/scenario"
+	"peas/internal/sensing"
+	"peas/internal/stats"
+	"peas/internal/trace"
+)
+
+// Aliases re-exporting the library's public surface. Users build against
+// these names; the internal packages stay free to reorganize.
+type (
+	// ProtocolConfig holds the PEAS protocol parameters (Rp, λ0, λd,
+	// estimator k, probe count, probe window, turn-off extension).
+	ProtocolConfig = core.Config
+	// NetworkConfig describes a simulated deployment: field, node count,
+	// protocol, radio, energy model and seed.
+	NetworkConfig = node.Config
+	// RadioConfig holds the physical-layer parameters.
+	RadioConfig = radio.Config
+	// EnergyProfile holds per-mode power draws in watts.
+	EnergyProfile = energy.Profile
+	// Network is a deployed, runnable simulated sensor network.
+	Network = node.Network
+	// Node is one simulated sensor.
+	Node = node.Node
+	// RunConfig configures one full evaluation run (network + failures +
+	// workload + metrics).
+	RunConfig = experiment.RunConfig
+	// RunStats carries every metric a run produces.
+	RunStats = experiment.RunStats
+	// SweepOptions parameterizes the paper-figure sweeps.
+	SweepOptions = experiment.Options
+	// Table is a printable experiment result.
+	Table = experiment.Table
+	// Point is a position in the field, in meters.
+	Point = geom.Point
+	// Field is a rectangular deployment area.
+	Field = geom.Field
+	// State is a node operation mode.
+	State = core.State
+	// NodeID identifies a node.
+	NodeID = core.NodeID
+)
+
+// TraceRecorder buffers structured simulation events (state changes,
+// deaths, frame deliveries); attach one via RunConfig.Trace and stream it
+// with WriteJSONL.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded simulation event.
+type TraceEvent = trace.Event
+
+// NewTraceRecorder returns a recorder keeping at most limit events
+// (0 = unlimited).
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
+
+// Target is a mobile point following a random-waypoint trajectory, used
+// by the sensing workload.
+type Target = sensing.Target
+
+// SensingTracker measures detection latency and exposure of mobile
+// targets against the working set.
+type SensingTracker = sensing.Tracker
+
+// SensingReport summarizes target-tracking quality.
+type SensingReport = sensing.Report
+
+// NewSensingTracker creates count random-waypoint targets at the given
+// speed and tracks their detection by working nodes within sensingRange.
+func NewSensingTracker(field Field, sensingRange float64, count int, speed float64, seed int64) *SensingTracker {
+	return sensing.NewTracker(field, sensingRange, count, speed, stats.NewRNG(seed))
+}
+
+// Scenario is a JSON-serializable run description; see
+// internal/scenario for the schema. cmd/peas-sim loads them via -config.
+type Scenario = scenario.Scenario
+
+// LoadScenario reads a JSON scenario file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// SVGOptions controls RenderSVG snapshots.
+type SVGOptions = render.SVGOptions
+
+// RenderASCII draws the network as a character map, one cell per `cell`
+// meters ('W' working, 's' sleeping, 'p' probing, 'x' dead).
+func RenderASCII(net *Network, cell float64) string { return render.ASCII(net, cell) }
+
+// RenderSVG writes a vector snapshot of the network with optional
+// sensing-coverage discs.
+func RenderSVG(w io.Writer, net *Network, opts SVGOptions) error {
+	return render.SVG(w, net, opts)
+}
+
+// Node operation modes (paper Figure 1), plus the terminal Dead state.
+const (
+	Sleeping = core.Sleeping
+	Probing  = core.Probing
+	Working  = core.Working
+	Dead     = core.Dead
+)
+
+// DefaultProtocolConfig returns the paper's protocol parameters:
+// Rp = 3 m, λ0 = 0.1/s, λd = 0.02/s, k = 32, 3 PROBEs over a 100 ms window,
+// 25-byte packets.
+func DefaultProtocolConfig() ProtocolConfig { return core.DefaultConfig() }
+
+// DefaultNetworkConfig returns the paper's evaluation deployment for n
+// nodes: a 50x50 m field, uniform placement, Motes-like radio and battery.
+func DefaultNetworkConfig(n int, seed int64) NetworkConfig {
+	return node.DefaultConfig(n, seed)
+}
+
+// DefaultRunConfig returns a full evaluation run at the paper's base
+// failure rate with the data-delivery workload enabled.
+func DefaultRunConfig(n int, seed int64) RunConfig {
+	return RunConfig{
+		Network:          node.DefaultConfig(n, seed),
+		FailuresPer5000s: experiment.BaseFailuresPer5000,
+		Forwarding:       true,
+	}
+}
+
+// NewNetwork deploys a simulated network. Use it directly for custom
+// scenarios; use Run for the paper's standard metrics.
+func NewNetwork(cfg NetworkConfig) (*Network, error) { return node.NewNetwork(cfg) }
+
+// Run executes one simulation run and gathers coverage lifetimes, data
+// delivery lifetime, wakeup counts and energy overhead.
+func Run(cfg RunConfig) (*RunStats, error) { return experiment.Run(cfg) }
+
+// DeploymentSweep reproduces the varying-population experiment behind
+// Figures 9, 10, 11 and Table 1.
+func DeploymentSweep(opts SweepOptions) (*experiment.DeploymentSweepResult, error) {
+	return experiment.DeploymentSweep(opts)
+}
+
+// FailureSweep reproduces the robustness experiment behind Figures 12-14.
+func FailureSweep(opts SweepOptions) (*experiment.FailureSweepResult, error) {
+	return experiment.FailureSweep(opts)
+}
+
+// EstimatorStudy reproduces the §2.2.1 estimator-accuracy analysis.
+func EstimatorStudy(seed int64) *Table { return experiment.EstimatorStudy(seed) }
+
+// ConnectivityStudy reproduces the §3 working-set geometry checks.
+func ConnectivityStudy(seeds int, seed int64) *Table {
+	return experiment.ConnectivityStudy(seeds, seed)
+}
+
+// GapStudy compares replacement gaps between PEAS and synchronized
+// sleeping (§2.1.1, Figures 4-5).
+func GapStudy(seeds int, seed int64) *Table { return experiment.GapStudy(seeds, seed) }
+
+// LossStudy reproduces the §4 multi-PROBE loss-compensation experiment.
+func LossStudy(seed int64) *Table { return experiment.LossStudy(seed) }
+
+// TurnoffStudy measures the §4 redundant-worker turn-off extension.
+func TurnoffStudy(seed int64) *Table { return experiment.TurnoffStudy(seed) }
+
+// DeploymentDistributionStudy compares uniform, even and clustered
+// deployments (§4, "Distribution of deployed nodes").
+func DeploymentDistributionStudy(seed int64) *Table {
+	return experiment.DeploymentDistributionStudy(seed)
+}
+
+// FixedPowerStudy compares variable transmission power against the §4
+// fixed-power mode with signal-strength threshold filtering.
+func FixedPowerStudy(seed int64) *Table { return experiment.FixedPowerStudy(seed) }
+
+// RpSweepStudy sweeps the probing range Rp, relating working density and
+// the Theorem 3.1 connectivity condition.
+func RpSweepStudy(seed int64) *Table { return experiment.RpSweepStudy(seed) }
+
+// BootStudy measures boot-up time to 90% 1-coverage as a function of the
+// initial probing rate λ0 (§2.1).
+func BootStudy(seed int64) *Table { return experiment.BootStudy(seed) }
+
+// DensityStudy empirically checks Lemma 3.1's cell-occupancy premise.
+func DensityStudy(seed int64) *Table { return experiment.DensityStudy(seed) }
+
+// MeshStudy measures the GRAB substrate's mesh-width/delivery tradeoff
+// under lossy data hops.
+func MeshStudy(seed int64) *Table { return experiment.MeshStudy(seed) }
+
+// GrabCheckStudy cross-validates packet-level GRAB forwarding against
+// the connectivity-level model used by the lifetime sweeps.
+func GrabCheckStudy(seed int64) *Table { return experiment.GrabCheckStudy(seed) }
+
+// IrregularityStudy reproduces §4's signal-attenuation-irregularity
+// prediction: poorer-reception areas keep denser working sets.
+func IrregularityStudy(seed int64) *Table { return experiment.IrregularityStudy(seed) }
+
+// TrackingStudy measures mobile-target detection quality under failures.
+func TrackingStudy(seed int64) *Table { return experiment.TrackingStudy(seed) }
+
+// DeviationStudy ablates each deviation from a literal paper reading
+// (DESIGN.md §5), demonstrating why each is necessary.
+func DeviationStudy(seed int64) *Table { return experiment.DeviationStudy(seed) }
+
+// ThreeDStudy exercises the §3 footnote: the probing rule in a 3-D volume.
+func ThreeDStudy(seed int64) *Table { return experiment.ThreeDStudy(seed) }
+
+// DefaultSweepOptions returns the paper's full evaluation setup
+// (deployments 160-800, failure rates 5.33-48 per 5000 s, 5 runs each).
+func DefaultSweepOptions() SweepOptions { return experiment.DefaultOptions() }

@@ -1,0 +1,143 @@
+package peasnet
+
+import (
+	"sync"
+	"time"
+
+	"peas/internal/core"
+	"peas/internal/energy"
+)
+
+// BatteryConfig enables battery emulation on a live node: the node drains
+// a virtual charge according to its protocol mode (at the node's
+// TimeScale) and fails permanently on depletion, as a deployed sensor
+// would.
+type BatteryConfig struct {
+	// Joules is the initial charge.
+	Joules float64
+	// Profile holds the per-mode power draw. The zero value selects the
+	// paper's Motes profile.
+	Profile energy.Profile
+}
+
+// virtualBattery tracks mode-based drain in protocol time.
+type virtualBattery struct {
+	mu        sync.Mutex
+	profile   energy.Profile
+	remaining float64
+	mode      energy.Mode
+	lastT     float64 // protocol seconds
+	dead      bool
+}
+
+func newVirtualBattery(cfg BatteryConfig) *virtualBattery {
+	profile := cfg.Profile
+	if profile == (energy.Profile{}) {
+		profile = energy.MotesProfile()
+	}
+	return &virtualBattery{
+		profile:   profile,
+		remaining: cfg.Joules,
+		mode:      energy.Sleep,
+	}
+}
+
+// setMode settles drain up to protocol time now and switches modes. It
+// returns the projected protocol-time instant of depletion (or a negative
+// value when the battery never depletes in the new mode).
+func (b *virtualBattery) setMode(now float64, m energy.Mode) (depleteAt float64, dead bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.settle(now)
+	b.mode = m
+	if b.dead {
+		return now, true
+	}
+	p := b.profile.Power(m)
+	if p <= 0 {
+		return -1, false
+	}
+	return now + b.remaining/p, false
+}
+
+func (b *virtualBattery) settle(now float64) {
+	if b.dead || now <= b.lastT {
+		if now > b.lastT {
+			b.lastT = now
+		}
+		return
+	}
+	used := b.profile.Power(b.mode) * (now - b.lastT)
+	if used >= b.remaining {
+		b.remaining = 0
+		b.dead = true
+	} else {
+		b.remaining -= used
+	}
+	b.lastT = now
+}
+
+// remainingAt settles and returns the remaining charge.
+func (b *virtualBattery) remainingAt(now float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.settle(now)
+	return b.remaining
+}
+
+// protocolMode maps a protocol state to a battery mode.
+func protocolMode(s core.State) energy.Mode {
+	switch s {
+	case core.Probing, core.Working:
+		return energy.Idle
+	default:
+		return energy.Sleep
+	}
+}
+
+// armBatteryWatch installs battery emulation hooks on a node. Called from
+// NewNode when Config.Battery is set.
+func (n *Node) armBatteryWatch() {
+	if n.battery == nil {
+		return
+	}
+	// Re-anchor the depletion timer on every state change.
+	n.onBatteryState = func(s core.State) {
+		now := n.Now()
+		depleteAt, dead := n.battery.setMode(now, protocolMode(s))
+		if dead {
+			n.failDepleted()
+			return
+		}
+		n.mu.Lock()
+		if n.depletionTimer != nil {
+			n.depletionTimer.Stop()
+			n.depletionTimer = nil
+		}
+		if n.stopped || depleteAt < 0 || s == core.Dead {
+			n.mu.Unlock()
+			return
+		}
+		realDelay := time.Duration((depleteAt - now) / n.scale * float64(time.Second))
+		n.depletionTimer = time.AfterFunc(realDelay, n.failDepleted)
+		n.mu.Unlock()
+	}
+}
+
+// failDepleted marks the node dead from battery exhaustion.
+func (n *Node) failDepleted() {
+	n.post(func() {
+		if n.proto.State() != core.Dead {
+			n.proto.Fail()
+		}
+	})
+}
+
+// BatteryRemaining returns the emulated remaining charge in joules, or
+// (0, false) when battery emulation is disabled.
+func (n *Node) BatteryRemaining() (float64, bool) {
+	if n.battery == nil {
+		return 0, false
+	}
+	return n.battery.remainingAt(n.Now()), true
+}

@@ -1,0 +1,168 @@
+package peasnet
+
+import (
+	"testing"
+	"time"
+
+	"peas/internal/core"
+	"peas/internal/energy"
+	"peas/internal/geom"
+)
+
+func TestVirtualBatteryDrain(t *testing.T) {
+	b := newVirtualBattery(BatteryConfig{Joules: 1.2})
+	// 50 protocol seconds in idle: 0.6 J.
+	depleteAt, dead := b.setMode(0, energy.Idle)
+	if dead {
+		t.Fatal("fresh battery dead")
+	}
+	if depleteAt != 100 {
+		t.Errorf("depletion projected at %v, want 100", depleteAt)
+	}
+	if got := b.remainingAt(50); got != 0.6 {
+		t.Errorf("remaining = %v, want 0.6", got)
+	}
+	// Switch to sleep at t=50: projection extends enormously.
+	depleteAt, dead = b.setMode(50, energy.Sleep)
+	if dead || depleteAt < 10000 {
+		t.Errorf("sleep depletion at %v", depleteAt)
+	}
+}
+
+func TestVirtualBatteryDepletes(t *testing.T) {
+	b := newVirtualBattery(BatteryConfig{Joules: 0.012})
+	b.setMode(0, energy.Idle) // 1 second of life
+	if got := b.remainingAt(2); got != 0 {
+		t.Errorf("remaining = %v after depletion", got)
+	}
+	_, dead := b.setMode(3, energy.Sleep)
+	if !dead {
+		t.Error("depleted battery not reported dead")
+	}
+}
+
+func TestVirtualBatteryCustomProfile(t *testing.T) {
+	p := energy.Profile{IdleW: 1, SleepW: 0.5, ReceiveW: 1, TransmitW: 2}
+	b := newVirtualBattery(BatteryConfig{Joules: 10, Profile: p})
+	if at, _ := b.setMode(0, energy.Idle); at != 10 {
+		t.Errorf("custom profile depletion at %v, want 10", at)
+	}
+}
+
+func TestLiveNodeDiesOnDepletion(t *testing.T) {
+	tr := NewInMemory()
+	defer func() { _ = tr.Close() }()
+
+	// One lone node with a tiny battery at high time compression: it
+	// wakes, works, and depletes within a fraction of real time.
+	// At scale 1000, idle life of 60 protocol seconds = 60 ms real.
+	n, err := NewNode(Config{
+		ID:        1,
+		Pos:       geom.Point{X: 1, Y: 1},
+		Protocol:  core.DefaultConfig(),
+		TimeScale: 1000,
+		Battery:   &BatteryConfig{Joules: 0.72}, // 60 s idle life
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	n.Start()
+
+	deadline := time.Now().Add(10 * time.Second)
+	sawWorking := false
+	for time.Now().Before(deadline) {
+		switch n.State() {
+		case core.Working:
+			sawWorking = true
+		case core.Dead:
+			if !sawWorking {
+				t.Error("node died without ever working")
+			}
+			if rem, ok := n.BatteryRemaining(); !ok || rem > 0.01 {
+				t.Errorf("remaining at death = %v (ok=%v)", rem, ok)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("node never depleted; state=%v", n.State())
+}
+
+func TestBatteryRemainingDisabled(t *testing.T) {
+	tr := NewInMemory()
+	defer func() { _ = tr.Close() }()
+	n, err := NewNode(Config{
+		ID: 2, Pos: geom.Point{X: 1, Y: 1}, Protocol: core.DefaultConfig(),
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if _, ok := n.BatteryRemaining(); ok {
+		t.Error("battery emulation reported without config")
+	}
+}
+
+func TestClusterWithBatteriesExhausts(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Field:     geom.NewField(5, 5),
+		N:         6,
+		Protocol:  core.DefaultConfig(),
+		TimeScale: 2000,
+		Seed:      3,
+		Battery:   &BatteryConfig{Joules: 1.2}, // 100 s idle life each
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Start()
+
+	// 6 nodes, one working at a time on a tiny field: the cluster
+	// should rotate through several workers and eventually die out.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		counts := c.StateCounts()
+		if counts[core.Dead] == 6 {
+			stats := c.TotalStats()
+			if stats.Wakeups == 0 {
+				t.Error("no wakeups recorded")
+			}
+			t.Logf("all dead after %d wakeups, %.0f s total working time",
+				stats.Wakeups, stats.TimeWorking)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("cluster did not exhaust; states=%v", c.StateCounts())
+}
+
+func TestTransportLossInjection(t *testing.T) {
+	tr := NewInMemory()
+	defer func() { _ = tr.Close() }()
+	tr.SetLossRate(0.999) // nearly everything drops
+	c, err := NewCluster(ClusterConfig{
+		Field:     geom.NewField(5, 5),
+		N:         10,
+		Protocol:  core.DefaultConfig(),
+		TimeScale: 500,
+		Seed:      9,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Start()
+	time.Sleep(1 * time.Second)
+	// With REPLYs dropped, probers hear nothing and everyone works.
+	if w := c.WorkingCount(); w < 8 {
+		t.Errorf("working = %d under total loss, want nearly all", w)
+	}
+	if tr.Dropped() == 0 {
+		t.Error("no drops counted")
+	}
+	// Loss clamping.
+	tr.SetLossRate(-1)
+	tr.SetLossRate(2)
+}

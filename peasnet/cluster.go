@@ -1,0 +1,165 @@
+package peasnet
+
+import (
+	"fmt"
+	"time"
+
+	"peas/internal/core"
+	"peas/internal/geom"
+	"peas/internal/stats"
+)
+
+// ClusterConfig describes a whole live network.
+type ClusterConfig struct {
+	// Field is the deployment area.
+	Field geom.Field
+	// N is the number of nodes; positions are drawn uniformly unless
+	// Positions is set (len == N).
+	N         int
+	Positions []geom.Point
+	// Protocol holds the PEAS parameters shared by all nodes.
+	Protocol core.Config
+	// TimeScale compresses protocol time (see Config.TimeScale).
+	TimeScale float64
+	// Seed drives deployment and per-node randomness.
+	Seed int64
+	// OnState is an optional observer for all nodes' mode changes.
+	OnState func(id int, s core.State)
+	// Battery, when non-nil, enables battery emulation on every node.
+	Battery *BatteryConfig
+}
+
+// Cluster manages a set of live nodes over one transport.
+type Cluster struct {
+	Nodes     []*Node
+	transport Transport
+	ownsTrans bool
+}
+
+// NewCluster deploys cfg.N live nodes on the given transport. If
+// transport is nil an in-memory transport is created and owned by the
+// cluster (closed by Stop).
+func NewCluster(cfg ClusterConfig, transport Transport) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("peasnet: cluster size %d must be positive", cfg.N)
+	}
+	owns := false
+	if transport == nil {
+		transport = NewInMemory()
+		owns = true
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	positions := cfg.Positions
+	if positions == nil {
+		positions = geom.UniformDeploy(cfg.Field, cfg.N, rng)
+	} else if len(positions) != cfg.N {
+		return nil, fmt.Errorf("peasnet: %d positions for %d nodes", len(positions), cfg.N)
+	}
+
+	c := &Cluster{transport: transport, ownsTrans: owns, Nodes: make([]*Node, 0, cfg.N)}
+	for i := 0; i < cfg.N; i++ {
+		n, err := NewNode(Config{
+			ID:        i,
+			Pos:       positions[i],
+			Protocol:  cfg.Protocol,
+			TimeScale: cfg.TimeScale,
+			Seed:      rng.Int63(),
+			OnState:   cfg.OnState,
+			Battery:   cfg.Battery,
+		}, transport)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// Start boots every node.
+func (c *Cluster) Start() {
+	for _, n := range c.Nodes {
+		n.Start()
+	}
+}
+
+// Stop shuts every node down and closes an owned transport.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+	if c.ownsTrans {
+		_ = c.transport.Close()
+	}
+}
+
+// WorkingCount returns how many nodes are currently in Working mode.
+func (c *Cluster) WorkingCount() int {
+	count := 0
+	for _, n := range c.Nodes {
+		if n.State() == core.Working {
+			count++
+		}
+	}
+	return count
+}
+
+// WorkingPositions returns the positions of the working nodes.
+func (c *Cluster) WorkingPositions() []geom.Point {
+	var pts []geom.Point
+	for _, n := range c.Nodes {
+		if n.State() == core.Working {
+			pts = append(pts, n.Pos())
+		}
+	}
+	return pts
+}
+
+// StateCounts returns how many nodes are currently in each mode.
+func (c *Cluster) StateCounts() map[core.State]int {
+	counts := make(map[core.State]int, 4)
+	for _, n := range c.Nodes {
+		counts[n.State()]++
+	}
+	return counts
+}
+
+// TotalStats sums the protocol counters across all nodes. It snapshots
+// each node in turn, so the totals are approximate while the network is
+// running.
+func (c *Cluster) TotalStats() core.Stats {
+	var total core.Stats
+	for _, n := range c.Nodes {
+		s := n.Stats()
+		total.Wakeups += s.Wakeups
+		total.ProbesSent += s.ProbesSent
+		total.RepliesSent += s.RepliesSent
+		total.RepliesHeard += s.RepliesHeard
+		total.RateUpdates += s.RateUpdates
+		total.Turnoffs += s.Turnoffs
+		total.TimeWorking += s.TimeWorking
+		total.TimeSleeping += s.TimeSleeping
+		total.TimeProbing += s.TimeProbing
+	}
+	return total
+}
+
+// AwaitStable polls until the working set stays unchanged for the given
+// settle duration (real time), or until timeout. It reports whether the
+// set settled.
+func (c *Cluster) AwaitStable(settle, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	last := -1
+	stableSince := time.Now()
+	for time.Now().Before(deadline) {
+		cur := c.WorkingCount()
+		if cur != last {
+			last = cur
+			stableSince = time.Now()
+		} else if cur > 0 && time.Since(stableSince) >= settle {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}

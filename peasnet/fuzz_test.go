@@ -1,0 +1,43 @@
+package peasnet
+
+import (
+	"bytes"
+	"testing"
+
+	"peas/internal/core"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the frame decoder: it must never
+// panic, and any frame it accepts must re-encode to the same bytes
+// (canonical wire form).
+func FuzzUnmarshal(f *testing.F) {
+	probe, _ := Marshal(core.Probe{From: 3, Seq: 1})
+	reply, _ := Marshal(core.Reply{From: 9, RateEstimate: 0.02, DesiredRate: 0.02, TimeWorking: 42})
+	f.Add(probe)
+	f.Add(reply)
+	f.Add([]byte{})
+	f.Add(make([]byte, FrameSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := Marshal(payload)
+		if err != nil {
+			t.Fatalf("decoded %#v cannot re-encode: %v", payload, err)
+		}
+		back, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		// Compare canonical encodings rather than values: NaN payload
+		// fields are legal on the wire but NaN != NaN in Go.
+		re2, err := Marshal(back)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("round trip changed frame: %x -> %x", re, re2)
+		}
+	})
+}

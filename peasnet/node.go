@@ -1,0 +1,266 @@
+package peasnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peas/internal/core"
+	"peas/internal/geom"
+	"peas/internal/stats"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// ID is the node identifier, unique within the transport.
+	ID int
+	// Pos is the node's (fixed) position in meters.
+	Pos geom.Point
+	// Protocol holds the PEAS parameters.
+	Protocol core.Config
+	// TimeScale compresses time: one real second advances the protocol
+	// clock by TimeScale seconds. 0 means 1 (real time). Tests and
+	// demos run at 50-200x; beyond that the 100 ms probe window shrinks
+	// below OS timer resolution and protocol timing loses fidelity
+	// (e.g. late PROBE copies can be dropped when the window closes
+	// early).
+	TimeScale float64
+	// Seed seeds the node's private random stream. Zero derives one
+	// from the ID.
+	Seed int64
+	// OnState, when non-nil, is called on every protocol mode change
+	// (from the node's event loop; keep it fast).
+	OnState func(id int, s core.State)
+	// Battery, when non-nil, enables battery emulation: the node drains
+	// a virtual charge by mode and dies on depletion.
+	Battery *BatteryConfig
+}
+
+// Node is a live PEAS node: one goroutine running the protocol state
+// machine over a Transport.
+type Node struct {
+	cfg       Config
+	transport Transport
+	proto     *core.Protocol
+	rng       *stats.RNG
+	scale     float64
+	started   time.Time
+
+	listening atomic.Bool
+	state     atomic.Int32
+
+	battery        *virtualBattery
+	onBatteryState func(s core.State)
+	depletionTimer *time.Timer
+
+	mu      sync.Mutex
+	jobs    []func()
+	timers  map[*time.Timer]struct{}
+	wake    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	running bool
+	stopped bool
+}
+
+var _ core.Platform = (*Node)(nil)
+
+// NewNode creates a node and registers it on the transport. Call Start
+// to boot the protocol and Stop to shut the node down.
+func NewNode(cfg Config, transport Transport) (*Node, error) {
+	if err := cfg.Protocol.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.ID)*2654435761 + 1
+	}
+	n := &Node{
+		cfg:       cfg,
+		transport: transport,
+		rng:       stats.NewRNG(cfg.Seed),
+		scale:     cfg.TimeScale,
+		timers:    make(map[*time.Timer]struct{}),
+		wake:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	n.proto = core.New(core.NodeID(cfg.ID), cfg.Protocol, n)
+	if cfg.Battery != nil {
+		n.battery = newVirtualBattery(*cfg.Battery)
+		n.armBatteryWatch()
+	}
+	err := transport.Register(cfg.ID, cfg.Pos, n.listening.Load, func(frame []byte, dist float64) {
+		payload, err := Unmarshal(frame)
+		if err != nil {
+			return // corrupt frame: drop, as a radio would
+		}
+		n.post(func() { n.proto.HandleMessage(payload, dist) })
+	})
+	if err != nil {
+		return nil, fmt.Errorf("register node %d: %w", cfg.ID, err)
+	}
+	return n, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// Pos returns the node position.
+func (n *Node) Pos() geom.Point { return n.cfg.Pos }
+
+// State returns the node's current protocol mode. It is safe to call
+// from any goroutine.
+func (n *Node) State() core.State { return core.State(n.state.Load()) }
+
+// Stats returns a snapshot of the protocol counters. The snapshot is
+// taken on the node's event loop, so it is internally consistent.
+func (n *Node) Stats() core.Stats {
+	ch := make(chan core.Stats, 1)
+	n.post(func() { ch <- n.proto.Stats() })
+	select {
+	case s := <-ch:
+		return s
+	case <-n.done:
+		return core.Stats{}
+	}
+}
+
+// Start boots the node: the event loop goroutine starts and the protocol
+// enters Sleeping mode. Starting twice or after Stop is a no-op.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.running || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.running = true
+	n.started = time.Now()
+	n.mu.Unlock()
+	go n.loop()
+	n.post(func() { n.proto.Start() })
+}
+
+// Stop shuts the node down: pending timers are cancelled and the event
+// loop goroutine exits. Stop is idempotent and waits for the loop.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		<-n.done
+		return
+	}
+	n.stopped = true
+	for t := range n.timers {
+		t.Stop()
+	}
+	n.timers = nil
+	if n.depletionTimer != nil {
+		n.depletionTimer.Stop()
+		n.depletionTimer = nil
+	}
+	running := n.running
+	n.mu.Unlock()
+	close(n.stop)
+	if !running {
+		// The event loop never started; nothing will close done.
+		close(n.done)
+		return
+	}
+	<-n.done
+}
+
+// loop is the node's single logical thread: every protocol interaction
+// (message, timer, start) runs here.
+func (n *Node) loop() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.wake:
+			for {
+				n.mu.Lock()
+				if len(n.jobs) == 0 {
+					n.mu.Unlock()
+					break
+				}
+				job := n.jobs[0]
+				n.jobs = n.jobs[1:]
+				n.mu.Unlock()
+				job()
+			}
+		}
+	}
+}
+
+// post enqueues fn onto the node's event loop. Posts after Stop are
+// dropped.
+func (n *Node) post(fn func()) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.jobs = append(n.jobs, fn)
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// --- core.Platform implementation (called from the event loop) ---
+
+// Now returns protocol time: scaled seconds since Start.
+func (n *Node) Now() float64 {
+	return time.Since(n.started).Seconds() * n.scale
+}
+
+// After schedules fn on the event loop after d protocol seconds. Pending
+// timers are cancelled on Stop.
+func (n *Node) After(d float64, fn func()) {
+	delay := time.Duration(d / n.scale * float64(time.Second))
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	var timer *time.Timer
+	timer = time.AfterFunc(delay, func() {
+		n.mu.Lock()
+		delete(n.timers, timer)
+		n.mu.Unlock()
+		n.post(fn)
+	})
+	n.timers[timer] = struct{}{}
+	n.mu.Unlock()
+}
+
+// Broadcast transmits a protocol frame over the transport.
+func (n *Node) Broadcast(size int, radius float64, payload any) {
+	frame, err := Marshal(payload)
+	if err != nil {
+		return
+	}
+	_ = size // the wire format is fixed-size
+	_ = n.transport.Broadcast(n.cfg.ID, n.cfg.Pos, radius, frame)
+}
+
+// SetState tracks the protocol mode and radio power state.
+func (n *Node) SetState(s core.State) {
+	n.state.Store(int32(s))
+	n.listening.Store(s == core.Probing || s == core.Working)
+	if n.onBatteryState != nil {
+		n.onBatteryState(s)
+	}
+	if n.cfg.OnState != nil {
+		n.cfg.OnState(n.cfg.ID, s)
+	}
+}
+
+// Rand returns the node's private random stream.
+func (n *Node) Rand() *stats.RNG { return n.rng }

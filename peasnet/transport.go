@@ -1,0 +1,178 @@
+package peasnet
+
+import (
+	"fmt"
+	"sync"
+
+	"peas/internal/geom"
+	"peas/internal/stats"
+)
+
+// Receiver is the callback a node registers to receive frames. dist is
+// the distance to the transmitter in meters.
+type Receiver func(frame []byte, dist float64)
+
+// Transport is the broadcast medium abstraction of the live runtime.
+// Implementations must deliver asynchronously: Broadcast must not block
+// on slow receivers, or node event loops could deadlock on each other.
+type Transport interface {
+	// Register attaches a receiver for node id at position pos. The
+	// listening callback reports whether the node's radio is currently
+	// on; transports must not deliver to non-listening nodes.
+	Register(id int, pos geom.Point, listening func() bool, recv Receiver) error
+	// Broadcast delivers frame to every listening registered node
+	// within radius of pos, except the sender.
+	Broadcast(from int, pos geom.Point, radius float64, frame []byte) error
+	// Close releases transport resources and stops deliveries.
+	Close() error
+}
+
+type memberEntry struct {
+	pos       geom.Point
+	listening func() bool
+	recv      Receiver
+}
+
+// InMemory is a Transport delivering frames between goroutine nodes in
+// one process. Deliveries run on a dedicated dispatcher goroutine so
+// Broadcast never blocks the caller's event loop.
+type InMemory struct {
+	mu       sync.Mutex
+	members  map[int]*memberEntry
+	queue    chan delivery
+	stop     chan struct{}
+	done     chan struct{}
+	closed   bool
+	lossRate float64
+	lossRNG  *stats.RNG
+	dropped  uint64
+}
+
+type delivery struct {
+	recv  Receiver
+	frame []byte
+	dist  float64
+}
+
+var _ Transport = (*InMemory)(nil)
+
+// NewInMemory returns a running in-memory transport. Close it to stop
+// the dispatcher goroutine.
+func NewInMemory() *InMemory {
+	t := &InMemory{
+		members: make(map[int]*memberEntry),
+		// The queue buffers bursts (e.g. the boot-up probing storm)
+		// without blocking transmitting nodes; 1024 frames is far above
+		// any steady-state depth for the network sizes the live runtime
+		// targets, and Broadcast drops (like a real radio) when full.
+		queue:   make(chan delivery, 1024),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		lossRNG: stats.NewRNG(1),
+	}
+	go t.dispatch()
+	return t
+}
+
+// SetLossRate makes the transport drop each delivery independently with
+// probability p, emulating a lossy channel (§4). It may be changed while
+// the network runs.
+func (t *InMemory) SetLossRate(p float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 0.999
+	}
+	t.lossRate = p
+}
+
+// Dropped returns how many deliveries the loss model discarded.
+func (t *InMemory) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+func (t *InMemory) dispatch() {
+	defer close(t.done)
+	for {
+		select {
+		case d := <-t.queue:
+			d.recv(d.frame, d.dist)
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// Register implements Transport.
+func (t *InMemory) Register(id int, pos geom.Point, listening func() bool, recv Receiver) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("peasnet: transport closed")
+	}
+	if _, ok := t.members[id]; ok {
+		return fmt.Errorf("peasnet: node %d already registered", id)
+	}
+	t.members[id] = &memberEntry{pos: pos, listening: listening, recv: recv}
+	return nil
+}
+
+// Broadcast implements Transport.
+func (t *InMemory) Broadcast(from int, pos geom.Point, radius float64, frame []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("peasnet: transport closed")
+	}
+	type target struct {
+		recv Receiver
+		dist float64
+	}
+	targets := make([]target, 0, 8)
+	for id, m := range t.members {
+		if id == from {
+			continue
+		}
+		if t.lossRate > 0 && t.lossRNG.Float64() < t.lossRate {
+			t.dropped++
+			continue
+		}
+		d := pos.Dist(m.pos)
+		if d <= radius && m.listening() {
+			targets = append(targets, target{recv: m.recv, dist: d})
+		}
+	}
+	t.mu.Unlock()
+
+	cp := append([]byte(nil), frame...)
+	for _, tg := range targets {
+		select {
+		case t.queue <- delivery{recv: tg.recv, frame: cp, dist: tg.dist}:
+		case <-t.stop:
+			return nil
+		default:
+			// Queue overflow: drop the frame, as a congested radio
+			// channel would.
+		}
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *InMemory) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.stop)
+	<-t.done
+	return nil
+}

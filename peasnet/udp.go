@@ -1,0 +1,168 @@
+package peasnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"peas/internal/core"
+	"peas/internal/geom"
+)
+
+// UDPGroup is a Transport where every node owns a UDP socket on the
+// loopback interface. A broadcast becomes one datagram per in-range peer.
+// The group keeps the id -> (address, position) registry that real
+// deployments would replace with actual radio reachability.
+//
+// UDPGroup exists to demonstrate the protocol over a real network stack;
+// it is not a radio model (no collisions or losses beyond what UDP and
+// the kernel provide).
+type UDPGroup struct {
+	mu      sync.Mutex
+	peers   map[int]*udpPeer
+	closed  bool
+	wg      sync.WaitGroup
+	dropper func() bool // test hook: non-nil => drop frames when true
+}
+
+type udpPeer struct {
+	pos       geom.Point
+	addr      *net.UDPAddr
+	conn      *net.UDPConn
+	listening func() bool
+	recv      Receiver
+}
+
+var _ Transport = (*UDPGroup)(nil)
+
+// NewUDPGroup returns an empty group; nodes join via Register.
+func NewUDPGroup() *UDPGroup {
+	return &UDPGroup{peers: make(map[int]*udpPeer)}
+}
+
+// Register binds a loopback UDP socket for node id and starts its reader.
+func (g *UDPGroup) Register(id int, pos geom.Point, listening func() bool, recv Receiver) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("peasnet: udp group closed")
+	}
+	if _, ok := g.peers[id]; ok {
+		return fmt.Errorf("peasnet: node %d already registered", id)
+	}
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return fmt.Errorf("listen udp for node %d: %w", id, err)
+	}
+	addr, ok := conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		_ = conn.Close()
+		return fmt.Errorf("peasnet: unexpected local addr type %T", conn.LocalAddr())
+	}
+	peer := &udpPeer{pos: pos, addr: addr, conn: conn, listening: listening, recv: recv}
+	g.peers[id] = peer
+
+	g.wg.Add(1)
+	go g.read(peer)
+	return nil
+}
+
+// read pumps datagrams from the peer's socket into its receiver. Sender
+// distance is encoded in a 8-byte prefix is avoided by recomputing from
+// the registry: the sender appends its id, and we look its position up.
+func (g *UDPGroup) read(p *udpPeer) {
+	defer g.wg.Done()
+	buf := make([]byte, FrameSize+8)
+	for {
+		n, _, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n < FrameSize {
+			continue
+		}
+		if !p.listening() {
+			continue // radio "off": drop silently
+		}
+		frame := append([]byte(nil), buf[:FrameSize]...)
+		payload, err := Unmarshal(frame)
+		if err != nil {
+			continue
+		}
+		// Distance from the registry, as a radio would measure signal
+		// strength.
+		from := senderOf(payload)
+		g.mu.Lock()
+		sender, ok := g.peers[from]
+		g.mu.Unlock()
+		if !ok {
+			continue
+		}
+		p.recv(frame, p.pos.Dist(sender.pos))
+	}
+}
+
+// Broadcast implements Transport: one datagram per in-range peer.
+func (g *UDPGroup) Broadcast(from int, pos geom.Point, radius float64, frame []byte) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return fmt.Errorf("peasnet: udp group closed")
+	}
+	if g.dropper != nil && g.dropper() {
+		g.mu.Unlock()
+		return nil
+	}
+	sender, ok := g.peers[from]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("peasnet: unknown sender %d", from)
+	}
+	targets := make([]*udpPeer, 0, 8)
+	for id, p := range g.peers {
+		if id == from {
+			continue
+		}
+		if pos.Dist(p.pos) <= radius {
+			targets = append(targets, p)
+		}
+	}
+	g.mu.Unlock()
+
+	for _, p := range targets {
+		if _, err := sender.conn.WriteToUDP(frame, p.addr); err != nil {
+			// Best effort, like a radio: receivers that went away just
+			// miss the frame.
+			continue
+		}
+	}
+	return nil
+}
+
+// Close shuts all sockets and waits for the readers to exit.
+func (g *UDPGroup) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	for _, p := range g.peers {
+		_ = p.conn.Close()
+	}
+	g.mu.Unlock()
+	g.wg.Wait()
+	return nil
+}
+
+// senderOf extracts the sender id from a decoded payload.
+func senderOf(payload any) int {
+	switch msg := payload.(type) {
+	case core.Probe:
+		return int(msg.From)
+	case core.Reply:
+		return int(msg.From)
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,180 @@
+package peasnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+
+	"peas/internal/geom"
+)
+
+// PeerInfo is one row of the static peer table used by multi-process
+// deployments (cmd/peas-node): who listens where, and at which field
+// position. Real sensor hardware would not need the table — radio
+// reachability replaces it — but UDP needs explicit addressing.
+type PeerInfo struct {
+	ID   int     `json:"id"`
+	Addr string  `json:"addr"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+// WritePeersFile saves a peer table as JSON.
+func WritePeersFile(path string, peers []PeerInfo) error {
+	data, err := json.MarshalIndent(peers, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal peers: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadPeersFile loads a peer table from JSON.
+func ReadPeersFile(path string) ([]PeerInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var peers []PeerInfo
+	if err := json.Unmarshal(data, &peers); err != nil {
+		return nil, fmt.Errorf("parse peers file %s: %w", path, err)
+	}
+	return peers, nil
+}
+
+// UDPPeer is a single-node Transport for multi-process deployments: the
+// node owns one UDP socket and addresses the other nodes through a static
+// peer table. One UDPPeer serves exactly one registered node (its own).
+type UDPPeer struct {
+	selfID int
+	conn   *net.UDPConn
+	peers  map[int]PeerInfo
+	addrs  map[int]*net.UDPAddr
+
+	mu        sync.Mutex
+	listening func() bool
+	recv      Receiver
+	closed    bool
+	done      chan struct{}
+}
+
+var _ Transport = (*UDPPeer)(nil)
+
+// NewUDPPeer binds the socket for selfID as listed in the peer table and
+// starts the reader. Register must be called with selfID before frames
+// are delivered.
+func NewUDPPeer(selfID int, peers []PeerInfo) (*UDPPeer, error) {
+	table := make(map[int]PeerInfo, len(peers))
+	addrs := make(map[int]*net.UDPAddr, len(peers))
+	for _, p := range peers {
+		addr, err := net.ResolveUDPAddr("udp4", p.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("peer %d addr %q: %w", p.ID, p.Addr, err)
+		}
+		table[p.ID] = p
+		addrs[p.ID] = addr
+	}
+	self, ok := addrs[selfID]
+	if !ok {
+		return nil, fmt.Errorf("peasnet: node %d not in peer table", selfID)
+	}
+	conn, err := net.ListenUDP("udp4", self)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", self, err)
+	}
+	t := &UDPPeer{
+		selfID: selfID,
+		conn:   conn,
+		peers:  table,
+		addrs:  addrs,
+		done:   make(chan struct{}),
+	}
+	go t.read()
+	return t, nil
+}
+
+func (t *UDPPeer) read() {
+	defer close(t.done)
+	buf := make([]byte, FrameSize+16)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < FrameSize {
+			continue
+		}
+		t.mu.Lock()
+		listening, recv := t.listening, t.recv
+		t.mu.Unlock()
+		if recv == nil || listening == nil || !listening() {
+			continue
+		}
+		payload, err := Unmarshal(buf[:FrameSize])
+		if err != nil {
+			continue
+		}
+		sender, ok := t.peers[senderOf(payload)]
+		if !ok {
+			continue
+		}
+		selfPos := t.pos(t.selfID)
+		dist := selfPos.Dist(geom.Point{X: sender.X, Y: sender.Y})
+		frame := append([]byte(nil), buf[:FrameSize]...)
+		recv(frame, dist)
+	}
+}
+
+func (t *UDPPeer) pos(id int) geom.Point {
+	p := t.peers[id]
+	return geom.Point{X: p.X, Y: p.Y}
+}
+
+// Register implements Transport; only the owning node may register.
+func (t *UDPPeer) Register(id int, pos geom.Point, listening func() bool, recv Receiver) error {
+	if id != t.selfID {
+		return fmt.Errorf("peasnet: UDPPeer for node %d cannot host node %d", t.selfID, id)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.recv != nil {
+		return fmt.Errorf("peasnet: node %d already registered", id)
+	}
+	t.listening = listening
+	t.recv = recv
+	return nil
+}
+
+// Broadcast implements Transport: one datagram per in-range peer.
+func (t *UDPPeer) Broadcast(from int, pos geom.Point, radius float64, frame []byte) error {
+	if from != t.selfID {
+		return fmt.Errorf("peasnet: UDPPeer for node %d cannot transmit for %d", t.selfID, from)
+	}
+	for id, peer := range t.peers {
+		if id == from {
+			continue
+		}
+		if pos.Dist(geom.Point{X: peer.X, Y: peer.Y}) > radius {
+			continue
+		}
+		if _, err := t.conn.WriteToUDP(frame, t.addrs[id]); err != nil {
+			continue // best effort, like a radio
+		}
+	}
+	return nil
+}
+
+// Close shuts the socket and waits for the reader.
+func (t *UDPPeer) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	<-t.done
+	return err
+}
