@@ -31,11 +31,12 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (fig9..fig14, table1, estimator, connectivity, gaps, loss, turnoff, distribution, fixedpower, rpsweep, boot, density, mesh, grabcheck, irregularity, tracking, deviation, threed, all)")
-		runs   = flag.Int("runs", 5, "independent runs per sweep point")
-		seed   = flag.Int64("seed", 1, "root seed")
-		quick  = flag.Bool("quick", false, "coarser sweeps for a fast pass")
-		format = flag.String("format", "text", "output format: text, csv, json or md")
+		exp      = flag.String("exp", "all", "experiment id (fig9..fig14, table1, estimator, connectivity, gaps, loss, turnoff, distribution, fixedpower, rpsweep, boot, density, mesh, grabcheck, irregularity, tracking, deviation, threed, all)")
+		runs     = flag.Int("runs", 5, "independent runs per sweep point")
+		seed     = flag.Int64("seed", 1, "root seed")
+		quick    = flag.Bool("quick", false, "coarser sweeps for a fast pass")
+		format   = flag.String("format", "text", "output format: text, csv, json or md")
+		parallel = flag.Int("parallel", 0, "concurrent simulations in sweeps (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func run() error {
 	opts := peas.DefaultSweepOptions()
 	opts.Runs = *runs
 	opts.Seed = *seed
+	opts.Parallel = *parallel
 	if *quick {
 		opts.Deployments = []int{160, 480, 800}
 		opts.FailureRates = []float64{5.33, 26.66, 48}

@@ -5,9 +5,14 @@
 // Usage:
 //
 //	peas-sim -n 480 -seed 1 -failures 10.66 -horizon 0
+//	peas-sim -n 480 -checkpoint-every 1000 -checkpoint-dir ckpts
+//	peas-sim -resume ckpts/checkpoint-t0003000.0.ckpt
+//	peas-sim -n 160 -seed 1 -verify
 //
 // A horizon of 0 selects a deployment-proportional default long enough
-// for the network to exhaust itself.
+// for the network to exhaust itself. -checkpoint-every writes periodic
+// full-state snapshots, -resume continues one, and -verify asserts that
+// a checkpointed-and-resumed run ends bit-identical to a direct run.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 
 	"peas"
@@ -45,6 +51,10 @@ func run() error {
 		ascii     = flag.Bool("ascii", false, "print a final-state ASCII map")
 		seriesOut = flag.String("series", "", "write the working/coverage time series as CSV to this file")
 		config    = flag.String("config", "", "load a JSON scenario file (flags below still override)")
+		ckptEvery = flag.Float64("checkpoint-every", 0, "write a checkpoint every this many simulated seconds")
+		ckptDir   = flag.String("checkpoint-dir", ".", "directory for periodic checkpoints")
+		resume    = flag.String("resume", "", "resume from this checkpoint file instead of starting fresh")
+		verify    = flag.Bool("verify", false, "check checkpoint determinism: direct run vs checkpoint+resume must hash equal")
 	)
 	flag.Parse()
 
@@ -67,6 +77,36 @@ func run() error {
 		cfg.Network.Protocol.InitialRate = *lambda0
 		cfg.Network.Protocol.TurnoffEnabled = *turnoff
 		cfg.Network.Radio.LossRate = *loss
+	}
+
+	if *verify {
+		return runVerify(cfg)
+	}
+	if *resume != "" {
+		snap, err := loadCheckpoint(*resume)
+		if err != nil {
+			return err
+		}
+		// The snapshot carries the full configuration; -horizon (when
+		// positive) extends the run past the recorded end time.
+		cfg.Resume = snap
+		*n = snap.Net.N
+		*seed = snap.Net.Seed
+		fmt.Printf("resuming:              %s (t=%.1f s, %d nodes)\n",
+			*resume, snap.SimTime, snap.Net.N)
+	}
+	var ckptErr error
+	if *ckptEvery > 0 {
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.OnCheckpoint = func(s *peas.Checkpoint) bool {
+			path, err := writeCheckpoint(*ckptDir, s)
+			if err != nil {
+				ckptErr = err
+				return true // stop the run; the error surfaces below
+			}
+			fmt.Printf("checkpoint:            t=%.1f s -> %s\n", s.SimTime, path)
+			return false
+		}
 	}
 
 	var recorder *peas.TraceRecorder
@@ -125,6 +165,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if ckptErr != nil {
+		return fmt.Errorf("write checkpoint: %w", ckptErr)
+	}
 	if snapshotErr != nil {
 		return fmt.Errorf("snapshot: %w", snapshotErr)
 	}
@@ -173,4 +216,51 @@ func run() error {
 	fmt.Printf("packets:               sent=%d delivered=%d collided=%d\n",
 		res.PacketsSent, res.PacketsDelivered, res.PacketsCollided)
 	return nil
+}
+
+// runVerify checks the checkpoint determinism contract for the given
+// configuration: an uninterrupted run and a checkpoint-at-T/2-then-resume
+// run must end in identical state hashes.
+func runVerify(cfg peas.RunConfig) error {
+	res, err := peas.VerifyCheckpoint(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint at:   %.1f s of %.1f s horizon\n", res.CheckpointAt, res.Horizon)
+	fmt.Printf("direct hash:     %s\n", res.DirectHash)
+	fmt.Printf("resumed hash:    %s\n", res.ResumedHash)
+	if !res.Match {
+		return fmt.Errorf("state hash mismatch: resumed run diverged from direct run")
+	}
+	fmt.Println("verify:          OK (resumed run is bit-identical to the direct run)")
+	return nil
+}
+
+func loadCheckpoint(path string) (*peas.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap, err := peas.DecodeCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+func writeCheckpoint(dir string, s *peas.Checkpoint) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("checkpoint-t%09.1f.ckpt", s.SimTime))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := s.Encode(f); err != nil {
+		_ = f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }

@@ -82,8 +82,9 @@ type Protocol struct {
 	lambda       float64
 	estimator    *RateEstimator
 	workStart    float64
-	heard        []Reply // REPLYs collected during the current probe window
-	replyPending bool    // a REPLY broadcast is already scheduled
+	heard        []Reply    // REPLYs collected during the current probe window
+	replyPending bool       // a REPLY broadcast is already scheduled
+	timers       []TimerRec // pending timers, serializable for checkpoints
 	stats        Stats
 }
 
@@ -168,25 +169,56 @@ func (p *Protocol) enter(s State) {
 	}
 	p.state = s
 	p.stateSince = now
-	p.gen++
+	p.gen++ // every pending timer below is now invalid ...
+	p.timers = p.timers[:0] // ... so the serializable records go too
 	p.replyPending = false
 	p.platform.SetState(s)
 }
 
-// after schedules fn guarded by the current generation: if the node has
-// transitioned since, the callback does nothing.
-func (p *Protocol) after(d float64, fn func()) {
+// scheduleTimer arms the timer described by rec, guarded by the current
+// generation: if the node has transitioned since, the callback does
+// nothing. The record stays in p.timers while the timer is pending, which
+// is what lets a checkpoint capture the node's outstanding schedule as
+// plain data and a restore rebuild it via ResumeTimers.
+func (p *Protocol) scheduleTimer(rec TimerRec, fn func()) {
+	p.timers = append(p.timers, rec)
 	gen := p.gen
-	p.platform.After(d, func() {
+	wrapped := func() {
 		if p.gen == gen && p.state != Dead {
+			p.removeTimer(rec)
 			fn()
 		}
-	})
+	}
+	// Schedule at the absolute recorded deadline when the platform can:
+	// re-arming a restored timer via now+(at-now) would round the deadline
+	// and nudge the resumed trajectory off the original by an ulp.
+	if ap, ok := p.platform.(AbsolutePlatform); ok {
+		ap.At(rec.At, wrapped)
+		return
+	}
+	p.platform.After(rec.At-p.platform.Now(), wrapped)
+}
+
+// afterTimer schedules fn after d seconds under a fresh timer record.
+func (p *Protocol) afterTimer(kind TimerKind, probe int, d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	p.scheduleTimer(TimerRec{Kind: kind, Probe: probe, At: p.platform.Now() + d}, fn)
+}
+
+func (p *Protocol) removeTimer(rec TimerRec) {
+	for i, r := range p.timers {
+		if r == rec {
+			p.timers = append(p.timers[:i], p.timers[i+1:]...)
+			return
+		}
+	}
 }
 
 func (p *Protocol) scheduleWakeup() {
 	ts := p.platform.Rand().Exp(p.lambda)
-	p.after(ts, p.wake)
+	p.afterTimer(TimerWakeup, 0, ts, p.wake)
 }
 
 // wake begins a probe round (Sleeping -> Probing in Figure 1).
@@ -203,9 +235,9 @@ func (p *Protocol) wake() {
 	for i := 1; i < p.cfg.NumProbes; i++ {
 		seq := i
 		delay := p.platform.Rand().Uniform(0, p.cfg.ProbeWindow/2)
-		p.after(delay, func() { p.sendProbe(seq) })
+		p.afterTimer(TimerProbeSend, seq, delay, func() { p.sendProbe(seq) })
 	}
-	p.after(p.cfg.ProbeWindow, p.endProbe)
+	p.afterTimer(TimerProbeEnd, 0, p.cfg.ProbeWindow, p.endProbe)
 }
 
 func (p *Protocol) sendProbe(seq int) {
@@ -287,22 +319,25 @@ func (p *Protocol) onProbe(msg Probe) {
 	}
 	p.replyPending = true
 	jitter := p.platform.Rand().Uniform(0, p.cfg.ReplyJitterMax)
-	p.after(jitter, func() {
-		p.replyPending = false
-		if p.state != Working {
-			return
-		}
-		p.stats.RepliesSent++
-		estimate := p.estimator.Report(p.platform.Now())
-		if p.cfg.StaleEstimates {
-			estimate = p.estimator.Estimate()
-		}
-		p.platform.Broadcast(p.cfg.PacketSize, p.cfg.ProbingRange, Reply{
-			From:         p.id,
-			RateEstimate: estimate,
-			DesiredRate:  p.cfg.DesiredRate,
-			TimeWorking:  p.TimeWorking(),
-		})
+	p.afterTimer(TimerReply, 0, jitter, p.fireReply)
+}
+
+// fireReply transmits the backed-off REPLY scheduled by onProbe.
+func (p *Protocol) fireReply() {
+	p.replyPending = false
+	if p.state != Working {
+		return
+	}
+	p.stats.RepliesSent++
+	estimate := p.estimator.Report(p.platform.Now())
+	if p.cfg.StaleEstimates {
+		estimate = p.estimator.Estimate()
+	}
+	p.platform.Broadcast(p.cfg.PacketSize, p.cfg.ProbingRange, Reply{
+		From:         p.id,
+		RateEstimate: estimate,
+		DesiredRate:  p.cfg.DesiredRate,
+		TimeWorking:  p.TimeWorking(),
 	})
 }
 

@@ -125,6 +125,16 @@ func (t *Tracker) Record(now float64, byK []float64) {
 // Samples returns the recorded series.
 func (t *Tracker) Samples() []Sample { return t.samples }
 
+// Restore replaces the recorded series with a deep copy of samples, as
+// previously returned by Samples. The checkpoint subsystem uses it to
+// carry the coverage history across a snapshot/resume boundary.
+func (t *Tracker) Restore(samples []Sample) {
+	t.samples = t.samples[:0]
+	for _, s := range samples {
+		t.Record(s.T, s.ByK)
+	}
+}
+
 // Lifetime returns the K-coverage lifetime: the time of the first sample
 // of the first run of `sustain` consecutive samples below threshold
 // ("the time duration from the beginning until K-coverage drops below a

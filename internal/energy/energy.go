@@ -196,6 +196,52 @@ func (b *Battery) DepletionTime(now float64) float64 {
 	return now + b.remaining/p
 }
 
+// BatteryState is the serializable state of a battery, as captured by the
+// checkpoint subsystem. Fields are raw (unsettled): a snapshot must not
+// settle, because settling splits the pending drain into two floating-
+// point subtractions and would nudge the checkpointed run off the
+// trajectory of an uninterrupted one.
+type BatteryState struct {
+	Initial   float64
+	Remaining float64
+	Mode      Mode
+	LastT     float64
+	Dead      bool
+	// ConsumedByMode[m-1] is the settled consumption in mode m, in the
+	// Sleep..DataTransmit constant order.
+	ConsumedByMode [6]float64
+}
+
+// Snapshot captures the battery state without settling.
+func (b *Battery) Snapshot() BatteryState {
+	st := BatteryState{
+		Initial:   b.initial,
+		Remaining: b.remaining,
+		Mode:      b.mode,
+		LastT:     b.lastT,
+		Dead:      b.dead,
+	}
+	for m := Sleep; m <= DataTransmit; m++ {
+		st.ConsumedByMode[m-1] = b.byMode[m]
+	}
+	return st
+}
+
+// Restore overwrites the battery with a captured state.
+func (b *Battery) Restore(st BatteryState) {
+	b.initial = st.Initial
+	b.remaining = st.Remaining
+	b.mode = st.Mode
+	b.lastT = st.LastT
+	b.dead = st.Dead
+	b.byMode = make(map[Mode]float64, len(st.ConsumedByMode))
+	for m := Sleep; m <= DataTransmit; m++ {
+		if v := st.ConsumedByMode[m-1]; v != 0 {
+			b.byMode[m] = v
+		}
+	}
+}
+
 // Kill settles consumption and marks the battery dead regardless of
 // remaining charge. Injected node failures (paper §5.2: "failures are
 // deaths not incurred by energy depletions") use this.

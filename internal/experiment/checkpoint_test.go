@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+
+	"peas/internal/checkpoint"
+	"peas/internal/node"
+)
+
+// TestCheckpointResumeVerify is the subsystem's acceptance criterion:
+// for multiple seeds, running seed→horizon directly and running via a
+// mid-run checkpoint pushed through the codec and resumed must end in
+// bit-identical model state.
+func TestCheckpointResumeVerify(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		cfg := RunConfig{
+			Network:          node.DefaultConfig(40, seed),
+			Horizon:          3000,
+			FailuresPer5000s: 10,
+			Forwarding:       true,
+		}
+		res, err := VerifyCheckpoint(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Match {
+			t.Errorf("seed %d: direct %s != resumed %s (checkpoint at %v s)",
+				seed, res.DirectHash, res.ResumedHash, res.CheckpointAt)
+		}
+	}
+}
+
+// TestCheckpointResumeVerifyIrregularRadio repeats the check under the
+// harder physical layer: radio irregularity and random loss exercise the
+// medium RNG and the quiescence deferral (CSMA backoffs in flight at the
+// nominal capture time).
+func TestCheckpointResumeVerifyIrregularRadio(t *testing.T) {
+	net := node.DefaultConfig(120, 3)
+	net.Radio.Irregularity = 0.5
+	net.Radio.LossRate = 0.05
+	cfg := RunConfig{Network: net, Horizon: 2600, FailuresPer5000s: 20, Forwarding: true}
+	res, err := VerifyCheckpoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match {
+		t.Errorf("direct %s != resumed %s", res.DirectHash, res.ResumedHash)
+	}
+}
+
+// TestPeriodicCapturesDoNotPerturb checks that taking snapshots is
+// observation-only: a run with periodic captures ends in exactly the
+// state of the same run without them.
+func TestPeriodicCapturesDoNotPerturb(t *testing.T) {
+	run := func(every float64) string {
+		cfg := RunConfig{
+			Network:          node.DefaultConfig(60, 9),
+			Horizon:          2000,
+			FailuresPer5000s: 10,
+			Forwarding:       true,
+			CaptureFinal:     true,
+		}
+		if every > 0 {
+			cfg.CheckpointEvery = every
+			cfg.OnCheckpoint = func(*checkpoint.Snapshot) bool { return false }
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalState.StateHashHex()
+	}
+	plain := run(0)
+	captured := run(333.3)
+	if plain != captured {
+		t.Errorf("periodic captures perturbed the run: %s vs %s", plain, captured)
+	}
+}
+
+// goldenFinalHash pins the end state of the reference run below on amd64.
+// It detects unintended trajectory changes: any edit to the RNG, the
+// event ordering, or the model physics shows up here. Update it
+// deliberately when such a change is intended (run the test with -v to
+// see the new hash).
+const goldenFinalHash = "4a1aca9c1972a7fffeafb5a0f0d75cc11507dcbbc81112a80bef234acacc942b"
+
+// TestGoldenDeterminism runs one fixed configuration twice and asserts
+// the full state hash matches at every sample point and at the end; on
+// amd64 the final hash must also equal the committed golden value.
+// Cross-architecture the trajectory may legitimately differ (Go permits
+// fused multiply-add contraction, and libm kernels are
+// architecture-specific), so only the two-run equality is asserted
+// elsewhere.
+func TestGoldenDeterminism(t *testing.T) {
+	run := func() (mids []string, final string) {
+		cfg := RunConfig{
+			Network:          node.DefaultConfig(60, 42),
+			Horizon:          2000,
+			FailuresPer5000s: 10,
+			Forwarding:       true,
+			CaptureFinal:     true,
+			CheckpointEvery:  500,
+			OnCheckpoint: func(s *checkpoint.Snapshot) bool {
+				mids = append(mids, s.StateHashHex())
+				return false
+			},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mids, res.FinalState.StateHashHex()
+	}
+	midsA, finalA := run()
+	midsB, finalB := run()
+	if len(midsA) == 0 {
+		t.Fatal("no mid-run samples captured")
+	}
+	if len(midsA) != len(midsB) {
+		t.Fatalf("sample count differs across runs: %d vs %d", len(midsA), len(midsB))
+	}
+	for i := range midsA {
+		if midsA[i] != midsB[i] {
+			t.Errorf("sample %d differs across identical runs: %s vs %s", i, midsA[i], midsB[i])
+		}
+	}
+	if finalA != finalB {
+		t.Errorf("final state differs across identical runs: %s vs %s", finalA, finalB)
+	}
+	t.Logf("final state hash: %s", finalA)
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden hash is pinned on amd64; running on %s", runtime.GOARCH)
+	}
+	if finalA != goldenFinalHash {
+		t.Errorf("final hash %s does not match committed golden %s", finalA, goldenFinalHash)
+	}
+}

@@ -6,12 +6,14 @@ package experiment
 import (
 	"math"
 
+	"peas/internal/checkpoint"
 	"peas/internal/core"
 	"peas/internal/coverage"
 	"peas/internal/failure"
 	"peas/internal/forward"
 	"peas/internal/metrics"
 	"peas/internal/node"
+	"peas/internal/sim"
 	"peas/internal/stats"
 	"peas/internal/trace"
 )
@@ -59,6 +61,24 @@ type RunConfig struct {
 	// OnFinish, when non-nil, runs after the simulation completes, with
 	// the network still intact — e.g. to render a final snapshot.
 	OnFinish func(net *node.Network)
+
+	// CheckpointEvery, when positive with OnCheckpoint set, captures a
+	// full-state snapshot every that many simulated seconds (deferred by
+	// up to a few milliseconds to the next quiescent radio boundary).
+	CheckpointEvery float64
+	// OnCheckpoint receives each periodic snapshot; returning true stops
+	// the run at the capture point.
+	OnCheckpoint func(s *checkpoint.Snapshot) (stop bool)
+	// Resume, when non-nil, continues a checkpointed run instead of
+	// booting a fresh one. The snapshot supplies the network
+	// configuration and experiment knobs; Network, FailuresPer5000s,
+	// Forwarding and CoverageSpacing in this config are ignored, and
+	// Horizon only applies when positive (to extend the run past the
+	// snapshot's recorded horizon).
+	Resume *checkpoint.Snapshot
+	// CaptureFinal captures the end-of-run state into RunStats.FinalState
+	// so callers can compare state hashes across runs.
+	CaptureFinal bool
 }
 
 // DefaultHorizon returns a horizon long enough for a deployment of n
@@ -107,10 +127,24 @@ type RunStats struct {
 	PacketsSent      uint64
 	PacketsDelivered uint64
 	PacketsCollided  uint64
+	// FinalState is the end-of-run snapshot (nil unless CaptureFinal).
+	FinalState *checkpoint.Snapshot
 }
 
-// Run executes one simulation and gathers the paper's metrics.
+// Run executes one simulation and gathers the paper's metrics. When
+// cfg.Resume holds a checkpoint the run continues it — restoring the full
+// model state and pending event schedule — instead of booting fresh.
 func Run(cfg RunConfig) (*RunStats, error) {
+	snap := cfg.Resume
+	if snap != nil {
+		cfg.Network = snap.Net
+		cfg.FailuresPer5000s = snap.FailuresPer5000s
+		cfg.Forwarding = snap.Forwarding
+		cfg.CoverageSpacing = snap.CoverageSpacing
+		if cfg.Horizon <= 0 {
+			cfg.Horizon = snap.Horizon
+		}
+	}
 	net, err := node.NewNetwork(cfg.Network)
 	if err != nil {
 		return nil, err
@@ -138,7 +172,10 @@ func Run(cfg RunConfig) (*RunStats, error) {
 			cfg.OnSample(now, working, byK)
 		}
 	}
-	net.Engine.NewTicker(CoverageInterval, sample)
+	var sampler *sim.Ticker
+	if snap == nil {
+		sampler = net.Engine.NewTicker(CoverageInterval, sample)
+	}
 
 	// Failure injection.
 	injRNG := stats.NewRNG(cfg.Network.Seed ^ 0x5f3759df)
@@ -148,12 +185,22 @@ func Run(cfg RunConfig) (*RunStats, error) {
 	var fw *forward.Harness
 	if cfg.Forwarding {
 		fw = forward.NewHarness(forward.DefaultConfig(cfg.Network.Field), net)
-		fw.Start()
+		if snap == nil {
+			fw.Start()
+		}
 	}
 
 	// Stop early once the deployment is exhausted.
 	allDeadAt := math.NaN()
 	alive := cfg.Network.N
+	if snap != nil {
+		alive = 0
+		for i := range snap.Nodes {
+			if snap.Nodes[i].Alive {
+				alive++
+			}
+		}
+	}
 	net.OnDeath = func(_ core.NodeID, _ node.DeathCause) {
 		alive--
 		if alive == 0 {
@@ -166,9 +213,27 @@ func Run(cfg RunConfig) (*RunStats, error) {
 		trace.Attach(cfg.Trace, net)
 	}
 
-	net.Start()
-	inj.Start()
-	sample() // t=0 observation
+	if snap == nil {
+		net.Start()
+		inj.Start()
+		sample() // t=0 observation
+	} else {
+		tracker.Restore(snap.TrackerSamples)
+		workingSeries.Restore(snap.WorkingSeries)
+		sampler, err = resumeRun(net, snap, sample, fw, inj)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	capture := func() *checkpoint.Snapshot {
+		return captureSnapshot(cfg, horizon, spacing, net, tracker,
+			workingSeries, sampler, inj, fw)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil {
+		scheduleCheckpoints(net, cfg.CheckpointEvery, capture, cfg.OnCheckpoint)
+	}
+
 	net.Run(horizon)
 	if cfg.OnFinish != nil {
 		cfg.OnFinish(net)
@@ -208,5 +273,8 @@ func Run(cfg RunConfig) (*RunStats, error) {
 		res.ReportsGenerated, res.ReportsDelivered = fw.Ratio().Counts()
 	}
 	res.PacketsSent, res.PacketsDelivered, res.PacketsCollided, _, _ = net.Medium.Stats()
+	if cfg.CaptureFinal {
+		res.FinalState = capture()
+	}
 	return res, nil
 }

@@ -24,13 +24,14 @@ type Injector struct {
 	injected int
 	victims  []core.NodeID
 	stopped  bool
+	nextAt   float64 // absolute time of the pending arrival; -1 when none
 }
 
 // NewInjector attaches an injector with the given rate (failures/second)
 // to the network. Call Start to schedule the first failure. A rate of 0
 // produces no failures.
 func NewInjector(net *node.Network, rate float64, rng *stats.RNG) *Injector {
-	return &Injector{net: net, rng: rng, rate: rate}
+	return &Injector{net: net, rng: rng, rate: rate, nextAt: -1}
 }
 
 // Start schedules the first failure arrival.
@@ -54,14 +55,54 @@ func (in *Injector) Victims() []core.NodeID {
 
 func (in *Injector) scheduleNext() {
 	delay := in.rng.Exp(in.rate)
-	in.net.Engine.Schedule(delay, func() {
-		if in.stopped {
-			return
-		}
-		if id := in.net.FailRandomAlive(in.rng); id >= 0 {
-			in.injected++
-			in.victims = append(in.victims, id)
-		}
-		in.scheduleNext()
-	})
+	in.nextAt = in.net.Engine.Now() + delay
+	in.net.Engine.At(in.nextAt, in.arrive)
+}
+
+func (in *Injector) arrive() {
+	if in.stopped {
+		return
+	}
+	if id := in.net.FailRandomAlive(in.rng); id >= 0 {
+		in.injected++
+		in.victims = append(in.victims, id)
+	}
+	in.scheduleNext()
+}
+
+// InjectorState is the serializable state of an injector: the failure
+// history, the RNG stream, and the pending arrival deadline.
+type InjectorState struct {
+	Injected int
+	Victims  []core.NodeID
+	Stopped  bool
+	// NextAt is the absolute time of the pending failure arrival, or a
+	// negative value when none is scheduled.
+	NextAt float64
+	RNG    stats.RNGState
+}
+
+// Snapshot captures the injector state without mutating it.
+func (in *Injector) Snapshot() InjectorState {
+	return InjectorState{
+		Injected: in.injected,
+		Victims:  append([]core.NodeID(nil), in.victims...),
+		Stopped:  in.stopped,
+		NextAt:   in.nextAt,
+		RNG:      in.rng.State(),
+	}
+}
+
+// Resume overwrites the injector with a captured state and re-arms the
+// pending arrival at its exact recorded deadline. Call it instead of
+// Start when restoring a checkpoint.
+func (in *Injector) Resume(st InjectorState) {
+	in.injected = st.Injected
+	in.victims = append([]core.NodeID(nil), st.Victims...)
+	in.stopped = st.Stopped
+	in.nextAt = st.NextAt
+	in.rng.Restore(st.RNG)
+	if !in.stopped && in.rate > 0 && st.NextAt >= 0 {
+		in.net.Engine.At(st.NextAt, in.arrive)
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"peas/internal/geom"
 	"peas/internal/metrics"
 	"peas/internal/node"
+	"peas/internal/sim"
 	"peas/internal/stats"
 )
 
@@ -64,11 +65,12 @@ func DefaultConfig(field geom.Field) Config {
 
 // Harness drives the source/sink workload on a network.
 type Harness struct {
-	cfg   Config
-	net   *node.Network
-	ratio *metrics.Ratio
-	hops  *metrics.Series
-	rng   *stats.RNG
+	cfg    Config
+	net    *node.Network
+	ratio  *metrics.Ratio
+	hops   *metrics.Series
+	rng    *stats.RNG
+	ticker *sim.Ticker
 }
 
 // NewHarness attaches the workload to net. Call Start before running the
@@ -92,7 +94,50 @@ func NewHarness(cfg Config, net *node.Network) *Harness {
 
 // Start schedules periodic report generation.
 func (h *Harness) Start() {
-	h.net.Engine.NewTicker(h.cfg.Period, h.generate)
+	h.ticker = h.net.Engine.NewTicker(h.cfg.Period, h.generate)
+}
+
+// HarnessState is the serializable state of the workload: the delivery
+// recorders, the per-hop loss RNG stream, and the phase of the report
+// generator.
+type HarnessState struct {
+	Generated   int
+	Succeeded   int
+	RatioPoints []metrics.Point
+	HopsPoints  []metrics.Point
+	RNG         stats.RNGState
+	// NextGenAt is the absolute time of the next report generation
+	// (sim.Forever when the generator is stopped).
+	NextGenAt float64
+}
+
+// Snapshot captures the harness state without mutating it.
+func (h *Harness) Snapshot() HarnessState {
+	gen, succ := h.ratio.Counts()
+	st := HarnessState{
+		Generated:   gen,
+		Succeeded:   succ,
+		RatioPoints: h.ratio.Series().Points(),
+		HopsPoints:  h.hops.Points(),
+		RNG:         h.rng.State(),
+		NextGenAt:   sim.Forever,
+	}
+	if h.ticker != nil {
+		st.NextGenAt = h.ticker.NextAt()
+	}
+	return st
+}
+
+// Resume overwrites the harness with a captured state and re-arms the
+// report generator at its exact recorded phase. Call it instead of Start
+// when restoring a checkpoint.
+func (h *Harness) Resume(st HarnessState) {
+	h.ratio.Restore(st.Generated, st.Succeeded, st.RatioPoints)
+	h.hops.Restore(st.HopsPoints)
+	h.rng.Restore(st.RNG)
+	if st.NextGenAt < sim.Forever {
+		h.ticker = h.net.Engine.NewTickerAt(st.NextGenAt, h.cfg.Period, h.generate)
+	}
 }
 
 // generate creates one report and attempts delivery through the current

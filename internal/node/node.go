@@ -54,8 +54,9 @@ type Node struct {
 }
 
 var (
-	_ core.Platform  = (*Node)(nil)
-	_ radio.Receiver = (*Node)(nil)
+	_ core.Platform         = (*Node)(nil)
+	_ core.AbsolutePlatform = (*Node)(nil)
+	_ radio.Receiver        = (*Node)(nil)
 )
 
 // ID returns the node identifier.
@@ -96,6 +97,11 @@ func (n *Node) Now() float64 { return n.network.Engine.Now() }
 
 // After schedules fn on the simulation engine.
 func (n *Node) After(d float64, fn func()) { n.network.Engine.Schedule(d, fn) }
+
+// At schedules fn at an absolute simulation time. The protocol uses it
+// (via core.AbsolutePlatform) so restored timers re-arm at their exact
+// recorded deadlines.
+func (n *Node) At(at float64, fn func()) { n.network.Engine.At(at, fn) }
 
 // Broadcast transmits a protocol frame over the shared medium.
 func (n *Node) Broadcast(size int, radius float64, payload any) {
@@ -201,6 +207,14 @@ func (n *Node) rescheduleDeath() {
 	if t >= sim.Forever {
 		return
 	}
+	n.scheduleDeathAt(t)
+}
+
+// scheduleDeathAt arms the depletion event at the absolute time t. The
+// checkpoint restore path calls it with the captured deadline rather than
+// recomputing one: recomputation would settle the battery and shift the
+// deadline by an ulp off the uninterrupted run's.
+func (n *Node) scheduleDeathAt(t float64) {
 	n.deathEvent = n.network.Engine.At(t, func() {
 		n.deathEvent = nil
 		if n.alive && n.battery.Remaining(n.Now()) <= 1e-12 {

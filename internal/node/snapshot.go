@@ -1,0 +1,87 @@
+package node
+
+import (
+	"fmt"
+
+	"peas/internal/core"
+	"peas/internal/energy"
+	"peas/internal/sim"
+	"peas/internal/stats"
+)
+
+// NodeState is the serializable state of one simulated sensor: liveness,
+// the private RNG stream, the battery, the protocol state machine with
+// its pending timers, and the scheduled depletion deadline.
+type NodeState struct {
+	Alive  bool
+	Cause  DeathCause
+	DiedAt float64
+	// DeathAt is the absolute deadline of the pending battery-depletion
+	// event, or a negative value when none is scheduled.
+	DeathAt float64
+	RNG     stats.RNGState
+	Battery energy.BatteryState
+	Proto   core.ProtocolState
+}
+
+// SnapshotNodes captures the mutable per-node state of the whole
+// deployment. It does not mutate anything: batteries stay unsettled and
+// protocol instances untouched, so taking a snapshot cannot perturb the
+// trajectory.
+func (net *Network) SnapshotNodes() []NodeState {
+	states := make([]NodeState, len(net.Nodes))
+	for i, n := range net.Nodes {
+		st := NodeState{
+			Alive:   n.alive,
+			Cause:   n.cause,
+			DiedAt:  n.diedAt,
+			DeathAt: -1,
+			RNG:     n.rng.State(),
+			Battery: n.battery.Snapshot(),
+			Proto:   n.proto.Snapshot(),
+		}
+		if n.deathEvent != nil {
+			st.DeathAt = n.deathEvent.Time()
+		}
+		states[i] = st
+	}
+	return states
+}
+
+// RestoreNodes overwrites the mutable state of a freshly constructed
+// network with captured node states. It only patches fields; pending
+// timers and death events are re-armed by ResumeSchedule once the engine
+// clock is positioned at the snapshot time.
+func (net *Network) RestoreNodes(states []NodeState) error {
+	if len(states) != len(net.Nodes) {
+		return fmt.Errorf("node: snapshot has %d nodes, network has %d",
+			len(states), len(net.Nodes))
+	}
+	for i, st := range states {
+		n := net.Nodes[i]
+		n.alive = st.Alive
+		n.cause = st.Cause
+		n.diedAt = st.DiedAt
+		n.rng.Restore(st.RNG)
+		n.battery.Restore(st.Battery)
+		n.proto.RestoreState(st.Proto)
+	}
+	return nil
+}
+
+// ResumeSchedule rebuilds the engine events a restored deployment owes:
+// each alive node's pending protocol timers (in recorded order) and its
+// battery-depletion event at the captured deadline. Call it after
+// RestoreNodes with the engine clock at the snapshot time.
+func (net *Network) ResumeSchedule(states []NodeState) {
+	for i, st := range states {
+		n := net.Nodes[i]
+		if !st.Alive {
+			continue
+		}
+		n.proto.ResumeTimers(st.Proto.Timers)
+		if st.DeathAt >= 0 && st.DeathAt < sim.Forever {
+			n.scheduleDeathAt(st.DeathAt)
+		}
+	}
+}

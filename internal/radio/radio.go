@@ -17,6 +17,8 @@
 package radio
 
 import (
+	"fmt"
+
 	"peas/internal/geom"
 	"peas/internal/sim"
 	"peas/internal/stats"
@@ -107,6 +109,11 @@ type Medium struct {
 	quality *qualityField // nil when irregularity is off
 	busyEnd []sim.Time    // per-receiver: end of last reception overlapping now
 	corrupt []bool        // per-receiver: current reception window corrupted
+	// inflight counts engine events the medium still owes: pending
+	// deliveries and carrier-sense retries. The checkpoint subsystem only
+	// snapshots when it is zero — a quiescent radio boundary — so frames
+	// in flight never need to be serialized.
+	inflight int
 
 	// Counters for the experiment harness.
 	sent      uint64
@@ -166,6 +173,59 @@ func (m *Medium) Stats() (sent, delivered, collided, lost, bytes uint64) {
 // Deferred reports how many transmissions carrier sense postponed.
 func (m *Medium) Deferred() uint64 { return m.deferred }
 
+// InFlight returns the number of pending medium events: deliveries whose
+// airtime has not elapsed plus carrier-sense retries. Zero means the
+// channel is quiescent and the medium state is fully captured by
+// Snapshot.
+func (m *Medium) InFlight() int { return m.inflight }
+
+// MediumState is the serializable state of the medium at a quiescent
+// boundary: the traffic counters, the per-receiver channel-occupancy
+// bookkeeping, and the loss/backoff RNG stream.
+type MediumState struct {
+	Sent, Delivered, Collided, Lost, Deferred, BytesSent uint64
+
+	BusyEnd []float64
+	Corrupt []bool
+	RNG     stats.RNGState
+}
+
+// Snapshot captures the medium state. It must only be called when
+// InFlight() == 0; frames in flight are not representable.
+func (m *Medium) Snapshot() MediumState {
+	return MediumState{
+		Sent:      m.sent,
+		Delivered: m.delivered,
+		Collided:  m.collided,
+		Lost:      m.lost,
+		Deferred:  m.deferred,
+		BytesSent: m.bytesSent,
+		BusyEnd:   append([]float64(nil), m.busyEnd...),
+		Corrupt:   append([]bool(nil), m.corrupt...),
+		RNG:       m.rng.State(),
+	}
+}
+
+// Restore overwrites the medium's mutable state with a captured one. The
+// static parts — config, index, quality field — are rebuilt by
+// reconstructing the medium from its config first.
+func (m *Medium) Restore(st MediumState) error {
+	if len(st.BusyEnd) != len(m.busyEnd) || len(st.Corrupt) != len(m.corrupt) {
+		return fmt.Errorf("radio: snapshot is for %d receivers, medium has %d",
+			len(st.BusyEnd), len(m.busyEnd))
+	}
+	m.sent = st.Sent
+	m.delivered = st.Delivered
+	m.collided = st.Collided
+	m.lost = st.Lost
+	m.deferred = st.Deferred
+	m.bytesSent = st.BytesSent
+	copy(m.busyEnd, st.BusyEnd)
+	copy(m.corrupt, st.Corrupt)
+	m.rng.Restore(st.RNG)
+	return nil
+}
+
 // Broadcast transmits pkt from its sender's deployed position. Delivery
 // callbacks run one airtime later. The transmitter is charged airtime at
 // TX power; every listening node inside the physical coverage is charged
@@ -189,7 +249,11 @@ func (m *Medium) Broadcast(pkt Packet) {
 		}
 		m.deferred++
 		delay := m.busyEnd[pkt.From] - now + m.rng.Uniform(0, backoffMax)
-		m.engine.Schedule(delay, func() { m.Broadcast(pkt) })
+		m.inflight++
+		m.engine.Schedule(delay, func() {
+			m.inflight--
+			m.Broadcast(pkt)
+		})
 		return
 	}
 	m.sent++
@@ -258,7 +322,9 @@ func (m *Medium) Broadcast(pkt Packet) {
 		}
 		p, d := pkt, dist
 		idx := i
+		m.inflight++
 		m.engine.At(end, func() {
+			m.inflight--
 			m.deliver(idx, p, d)
 		})
 	})

@@ -88,6 +88,18 @@ func NewEngine() *Engine {
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
+// SetNow moves the clock to t without executing anything. It is the
+// restore-side counterpart of a checkpoint: a freshly built engine is
+// positioned at the snapshot time before the pending schedule is rebuilt.
+// SetNow panics if events are already queued — moving the clock under a
+// live schedule would let events execute in the past.
+func (e *Engine) SetNow(t Time) {
+	if len(e.queue) > 0 {
+		panic("sim: SetNow with a non-empty schedule")
+	}
+	e.now = t
+}
+
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 

@@ -53,6 +53,25 @@ func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
 	return t
 }
 
+// NewTickerAt returns a started ticker whose first call happens at the
+// absolute time first, then every period seconds after. Restoring a
+// checkpoint uses it to re-arm a periodic activity at the exact phase it
+// had when the snapshot was taken.
+func (e *Engine) NewTickerAt(first, period Time, fn func()) *Ticker {
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.event = e.At(first, t.tick)
+	return t
+}
+
+// NextAt returns the absolute time of the next tick, or Forever when the
+// ticker is stopped. Checkpoints record it to preserve the tick phase.
+func (t *Ticker) NextAt() Time {
+	if t.event == nil {
+		return Forever
+	}
+	return t.event.Time()
+}
+
 func (t *Ticker) tick() {
 	t.event = t.engine.Schedule(t.period, t.tick)
 	t.fn()

@@ -117,6 +117,92 @@ func TestPoissonMoments(t *testing.T) {
 	}
 }
 
+// TestRNGStateRoundTrip pins the property the checkpoint subsystem depends
+// on: capturing State mid-stream and restoring it reproduces the remaining
+// sequence exactly, across every distribution the simulator draws from.
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := NewRNG(1234)
+	// Burn an arbitrary prefix mixing all the draw kinds.
+	for i := 0; i < 137; i++ {
+		r.Float64()
+		r.Exp(0.1)
+		r.Normal()
+		r.Intn(17)
+	}
+	st := r.State()
+	clone := NewRNGFromState(st)
+	for i := 0; i < 1000; i++ {
+		if a, b := r.Uint64(), clone.Uint64(); a != b {
+			t.Fatalf("restored stream diverged at step %d: %x != %x", i, a, b)
+		}
+	}
+}
+
+func TestRNGRestoreInPlace(t *testing.T) {
+	r := NewRNG(9)
+	st := r.State()
+	want := make([]float64, 50)
+	for i := range want {
+		want[i] = r.Float64()
+	}
+	r.Restore(st)
+	for i := range want {
+		if got := r.Float64(); got != want[i] {
+			t.Fatalf("in-place restore diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGRestoreForcesOddIncrement(t *testing.T) {
+	// A corrupted checkpoint may carry an even increment; the generator
+	// must still cycle rather than degenerate.
+	r := NewRNGFromState(RNGState{State: 0, Inc: 4})
+	if r.State().Inc&1 != 1 {
+		t.Fatal("Restore must force the increment odd")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("restored stream looks degenerate: %d/64 distinct outputs", len(seen))
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	rng := NewRNG(77)
+	const n, draws = 7, 70000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[rng.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Errorf("Intn(%d) bucket %d: %d draws, want ≈ %.0f", n, v, c, want)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRNG(21)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := rng.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Normal mean = %v, want ≈ 0", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Normal variance = %v, want ≈ 1", variance)
+	}
+}
+
 func TestPermIsPermutation(t *testing.T) {
 	rng := NewRNG(9)
 	p := rng.Perm(100)

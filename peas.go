@@ -37,6 +37,7 @@ package peas
 import (
 	"io"
 
+	"peas/internal/checkpoint"
 	"peas/internal/core"
 	"peas/internal/energy"
 	"peas/internal/experiment"
@@ -85,6 +86,28 @@ type (
 	// NodeID identifies a node.
 	NodeID = core.NodeID
 )
+
+// Checkpoint is a versioned full-state snapshot of a run: node state
+// machines, batteries, RNG streams, pending timers, the failure schedule
+// and the metric series. Capture them via RunConfig.CheckpointEvery /
+// OnCheckpoint, persist with Checkpoint.Encode, and continue a run via
+// RunConfig.Resume.
+type Checkpoint = checkpoint.Snapshot
+
+// CheckpointVerifyResult reports one checkpoint/resume equivalence check.
+type CheckpointVerifyResult = experiment.VerifyResult
+
+// DecodeCheckpoint reads a snapshot in the canonical binary format, as
+// written by Checkpoint.Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) { return checkpoint.Decode(r) }
+
+// VerifyCheckpoint checks the checkpoint determinism contract on one
+// configuration: a run interrupted at a mid-run snapshot, serialized,
+// restored and resumed must end in exactly the state of the uninterrupted
+// run. cmd/peas-sim exposes it as the -verify mode.
+func VerifyCheckpoint(cfg RunConfig) (*CheckpointVerifyResult, error) {
+	return experiment.VerifyCheckpoint(cfg)
+}
 
 // TraceRecorder buffers structured simulation events (state changes,
 // deaths, frame deliveries); attach one via RunConfig.Trace and stream it
