@@ -1,0 +1,186 @@
+package main
+
+// Benchmark regression gate.
+//
+// CI cannot gate on wall time — shared runners are too noisy for a 25%
+// threshold to mean anything — so the primary regression metrics are the
+// deterministic work counters of a fixed scenario set: engine events
+// executed, packets broadcast and protocol wakeups. Those are pure
+// functions of (config, seed); a change that makes the simulator do more
+// work (timer churn, retransmission storms, extra sweeps) moves them
+// reproducibly on every machine. Wall time is still measured and reported,
+// but only advisorily.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"peas"
+)
+
+type gateMetrics struct {
+	// Deterministic counters: identical for identical behavior.
+	Events  uint64 `json:"events"`
+	Packets uint64 `json:"packets"`
+	Wakeups uint64 `json:"wakeups"`
+	// WallNS is advisory only (never fails the gate).
+	WallNS int64 `json:"wall_ns"`
+}
+
+type gateBaseline struct {
+	// Mode records whether the baseline was measured with -quick; the
+	// scenario horizons differ, so comparing across modes is meaningless.
+	Mode      string                 `json:"mode"`
+	Scenarios map[string]gateMetrics `json:"scenarios"`
+}
+
+type gateScenario struct {
+	name string
+	cfg  peas.RunConfig
+}
+
+// gateScenarios is the fixed workload set. Horizons are explicit (never
+// the deployment-proportional default) so the work counted is pinned.
+func gateScenarios(quick bool) []gateScenario {
+	h := func(full, short float64) float64 {
+		if quick {
+			return short
+		}
+		return full
+	}
+	protocol := peas.DefaultRunConfig(160, 1)
+	protocol.Forwarding = false
+	protocol.FailuresPer5000s = 0
+	protocol.Horizon = h(4000, 1500)
+
+	baseline := peas.DefaultRunConfig(320, 2)
+	baseline.Horizon = h(3000, 1200)
+
+	failures := peas.DefaultRunConfig(480, 3)
+	failures.FailuresPer5000s = 26.66
+	failures.Horizon = h(2500, 1000)
+
+	return []gateScenario{
+		{"protocol-160", protocol},
+		{"baseline-320", baseline},
+		{"failures-480", failures},
+	}
+}
+
+func measureGate(quick bool) (*gateBaseline, error) {
+	mode := "full"
+	if quick {
+		mode = "quick"
+	}
+	out := &gateBaseline{Mode: mode, Scenarios: map[string]gateMetrics{}}
+	for _, sc := range gateScenarios(quick) {
+		cfg := sc.cfg
+		var net *peas.Network
+		cfg.OnNetwork = func(n *peas.Network) { net = n }
+		start := time.Now()
+		res, err := peas.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+		m := gateMetrics{
+			Events:  net.Engine.Executed(),
+			Packets: res.PacketsSent,
+			Wakeups: res.Wakeups,
+			WallNS:  time.Since(start).Nanoseconds(),
+		}
+		out.Scenarios[sc.name] = m
+		fmt.Printf("%-14s events=%-9d packets=%-8d wakeups=%-7d wall=%s\n",
+			sc.name, m.Events, m.Packets, m.Wakeups,
+			time.Duration(m.WallNS).Round(time.Millisecond))
+	}
+	return out, nil
+}
+
+// runGate measures the scenario set and either writes the baseline file
+// (write=true) or compares against it, returning an error if any
+// deterministic counter regressed by more than tolerance.
+func runGate(path string, tolerance float64, write, quick bool) error {
+	current, err := measureGate(quick)
+	if err != nil {
+		return err
+	}
+	if write {
+		data, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("baseline written to %s (mode=%s)\n", path, current.Mode)
+		return nil
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline (generate one with -write-baseline): %w", err)
+	}
+	var base gateBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if base.Mode != current.Mode {
+		return fmt.Errorf("baseline %s was measured in %s mode, this run is %s mode; match the -quick flag or regenerate with -write-baseline",
+			path, base.Mode, current.Mode)
+	}
+
+	names := make([]string, 0, len(base.Scenarios))
+	for name := range base.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	for _, name := range names {
+		b := base.Scenarios[name]
+		c, ok := current.Scenarios[name]
+		if !ok {
+			return fmt.Errorf("scenario %s is in the baseline but no longer measured; regenerate with -write-baseline", name)
+		}
+		check := func(metric string, baseV, curV uint64) {
+			if baseV == 0 {
+				return
+			}
+			ratio := float64(curV) / float64(baseV)
+			switch {
+			case ratio > 1+tolerance:
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s: %d -> %d (%+.1f%%, limit %+.0f%%)",
+					name, metric, baseV, curV, 100*(ratio-1), 100*tolerance))
+			case ratio < 1-tolerance:
+				fmt.Printf("note: %s %s improved %d -> %d (%.1f%%); consider refreshing the baseline\n",
+					name, metric, baseV, curV, 100*(ratio-1))
+			}
+		}
+		check("events", b.Events, c.Events)
+		check("packets", b.Packets, c.Packets)
+		check("wakeups", b.Wakeups, c.Wakeups)
+		if b.WallNS > 0 {
+			wall := float64(c.WallNS) / float64(b.WallNS)
+			if wall > 1+tolerance {
+				fmt.Printf("note: %s wall time %.2fx baseline (advisory only, not gated)\n", name, wall)
+			}
+		}
+	}
+	for name := range current.Scenarios {
+		if _, ok := base.Scenarios[name]; !ok {
+			return fmt.Errorf("scenario %s has no baseline entry; regenerate with -write-baseline", name)
+		}
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d benchmark counter(s) regressed beyond %.0f%%", len(regressions), 100*tolerance)
+	}
+	fmt.Printf("bench gate: OK (%d scenarios within %.0f%% of %s)\n", len(names), 100*tolerance, path)
+	return nil
+}

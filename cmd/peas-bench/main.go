@@ -7,6 +7,14 @@
 //	peas-bench -exp fig9        # one experiment
 //	peas-bench -runs 1 -quick   # fast pass (1 run/point, coarser sweeps)
 //
+// Regression gate (used by CI): runs a fixed deterministic scenario set
+// and compares work counters (engine events, packets, wakeups) against a
+// committed baseline, failing on regressions beyond -tolerance. Wall time
+// is reported but advisory.
+//
+//	peas-bench -quick -baseline BENCH_baseline.json -write-baseline
+//	peas-bench -quick -baseline BENCH_baseline.json -tolerance 0.25
+//
 // Experiments: fig9 fig10 fig11 table1 fig12 fig13 fig14 estimator
 // connectivity gaps loss turnoff distribution fixedpower rpsweep boot
 // density mesh grabcheck irregularity tracking deviation threed all
@@ -37,8 +45,16 @@ func run() error {
 		quick    = flag.Bool("quick", false, "coarser sweeps for a fast pass")
 		format   = flag.String("format", "text", "output format: text, csv, json or md")
 		parallel = flag.Int("parallel", 0, "concurrent simulations in sweeps (0 = all CPUs)")
+
+		baseline  = flag.String("baseline", "", "regression-gate mode: baseline JSON to compare against (or write with -write-baseline)")
+		tolerance = flag.Float64("tolerance", 0.25, "maximum allowed relative regression of a gate counter")
+		writeBase = flag.Bool("write-baseline", false, "measure the gate scenarios and write -baseline instead of comparing")
 	)
 	flag.Parse()
+
+	if *baseline != "" {
+		return runGate(*baseline, *tolerance, *writeBase, *quick)
+	}
 
 	emit := func(t *peas.Table) error {
 		switch *format {

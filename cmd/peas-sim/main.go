@@ -8,11 +8,15 @@
 //	peas-sim -n 480 -checkpoint-every 1000 -checkpoint-dir ckpts
 //	peas-sim -resume ckpts/checkpoint-t0003000.0.ckpt
 //	peas-sim -n 160 -seed 1 -verify
+//	peas-sim -n 160 -seed 1 -check
 //
 // A horizon of 0 selects a deployment-proportional default long enough
 // for the network to exhaust itself. -checkpoint-every writes periodic
 // full-state snapshots, -resume continues one, and -verify asserts that
 // a checkpointed-and-resumed run ends bit-identical to a direct run.
+// -check arms the runtime invariant oracle (energy conservation, radio
+// discipline, worker redundancy, timer monotonicity) and verifies the
+// checkpoint chain, exiting non-zero on any violation.
 package main
 
 import (
@@ -55,6 +59,7 @@ func run() error {
 		ckptDir   = flag.String("checkpoint-dir", ".", "directory for periodic checkpoints")
 		resume    = flag.String("resume", "", "resume from this checkpoint file instead of starting fresh")
 		verify    = flag.Bool("verify", false, "check checkpoint determinism: direct run vs checkpoint+resume must hash equal")
+		check     = flag.Bool("check", false, "run with the runtime invariant oracle armed and verify the checkpoint chain; non-zero exit on any violation")
 	)
 	flag.Parse()
 
@@ -81,6 +86,9 @@ func run() error {
 
 	if *verify {
 		return runVerify(cfg)
+	}
+	if *check {
+		return runCheck(cfg, *traceOut)
 	}
 	if *resume != "" {
 		snap, err := loadCheckpoint(*resume)
@@ -215,6 +223,80 @@ func run() error {
 		res.FailuresInjected, 100*res.FailedFraction)
 	fmt.Printf("packets:               sent=%d delivered=%d collided=%d\n",
 		res.PacketsSent, res.PacketsDelivered, res.PacketsCollided)
+	return nil
+}
+
+// runCheck arms the runtime invariant oracle on the configured run and
+// then re-runs it through the checkpoint-chain differential. Any
+// invariant violation or chain divergence is reported and turned into a
+// non-zero exit. With -trace, the instrumented run's event trace is
+// written out so a reported violation can be located in context.
+func runCheck(cfg peas.RunConfig, traceOut string) error {
+	if cfg.Horizon <= 0 {
+		// The open-ended run-to-exhaustion default is the wrong shape for
+		// a check pass; bound it to the paper's evaluation horizon.
+		cfg.Horizon = 5000
+		fmt.Println("check:           horizon unset, using 5000 s")
+	}
+
+	var recorder *peas.TraceRecorder
+	if traceOut != "" {
+		recorder = peas.NewTraceRecorder(0)
+		cfg.Trace = recorder
+	}
+	var checker *peas.InvariantChecker
+	cfg.OnNetwork = func(net *peas.Network) {
+		checker = peas.AttachChecker(net, peas.DefaultInvariantConfig())
+	}
+	if _, err := peas.Run(cfg); err != nil {
+		return err
+	}
+	if recorder != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		if err := recorder.WriteJSONL(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace:           %d events -> %s\n", recorder.Len(), traceOut)
+	}
+	violations := checker.Violations()
+	fmt.Printf("invariants:      %d violations over %.0f s (%d nodes)\n",
+		len(violations)+checker.Dropped(), cfg.Horizon, cfg.Network.N)
+	for _, v := range violations {
+		fmt.Printf("  %s\n", v)
+	}
+	if d := checker.Dropped(); d > 0 {
+		fmt.Printf("  ... and %d more (capped)\n", d)
+	}
+
+	// The chain differential re-runs from scratch; detach the observers
+	// that belong to the instrumented pass.
+	chainCfg := cfg
+	chainCfg.Trace = nil
+	chainCfg.OnNetwork = nil
+	chain, err := peas.VerifyCheckpointChain(chainCfg, cfg.Horizon/4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint chain: %d boundaries resumed against direct hash %s\n",
+		chain.Boundaries, chain.FinalHash)
+	for _, m := range chain.Mismatches {
+		fmt.Printf("  diverged: %s\n", m)
+	}
+
+	if err := checker.Err(); err != nil {
+		return err
+	}
+	if err := chain.Err(); err != nil {
+		return err
+	}
+	fmt.Println("check:           OK (all invariants held, checkpoint chain bit-exact)")
 	return nil
 }
 

@@ -29,7 +29,10 @@ import (
 
 // Version is the checkpoint format version written into the header.
 // Decoders reject other versions rather than guessing.
-const Version uint32 = 1
+//
+// History: v1 original format; v2 added the optional Net.NodeSeeds
+// sequence after Net.Positions.
+const Version uint32 = 2
 
 // Snapshot is the full state of a simulation run at one instant.
 type Snapshot struct {

@@ -136,6 +136,14 @@ func encodeNetConfig(e *enc, c *node.Config) {
 			e.f64(pt.Y)
 		}
 	}
+
+	e.boolean(c.NodeSeeds != nil)
+	if c.NodeSeeds != nil {
+		e.count(len(c.NodeSeeds))
+		for _, s := range c.NodeSeeds {
+			e.i64(s)
+		}
+	}
 }
 
 func encodeRNG(e *enc, st stats.RNGState) {
@@ -435,6 +443,14 @@ func decodeNetConfig(d *dec, c *node.Config) {
 		for i := range c.Positions {
 			c.Positions[i].X = d.f64()
 			c.Positions[i].Y = d.f64()
+		}
+	}
+
+	if d.boolean() {
+		n := d.count(8)
+		c.NodeSeeds = make([]int64, n)
+		for i := range c.NodeSeeds {
+			c.NodeSeeds[i] = d.i64()
 		}
 	}
 }

@@ -83,7 +83,7 @@ func TestPeriodicCapturesDoNotPerturb(t *testing.T) {
 // event ordering, or the model physics shows up here. Update it
 // deliberately when such a change is intended (run the test with -v to
 // see the new hash).
-const goldenFinalHash = "4a1aca9c1972a7fffeafb5a0f0d75cc11507dcbbc81112a80bef234acacc942b"
+const goldenFinalHash = "2faa254f39768f3548902c755fdc6ae83defa121c1e3fdccaf1cdf6a2686c3d1"
 
 // TestGoldenDeterminism runs one fixed configuration twice and asserts
 // the full state hash matches at every sample point and at the end; on

@@ -61,6 +61,12 @@ type RunConfig struct {
 	// OnFinish, when non-nil, runs after the simulation completes, with
 	// the network still intact — e.g. to render a final snapshot.
 	OnFinish func(net *node.Network)
+	// OnNetwork, when non-nil, runs once the network is fully built and
+	// instrumented but before any event executes — the attachment point
+	// for read-only observers like the runtime invariant oracle. It fires
+	// on fresh starts (before Start) and on resumed runs (after the
+	// snapshot is restored).
+	OnNetwork func(net *node.Network)
 
 	// CheckpointEvery, when positive with OnCheckpoint set, captures a
 	// full-state snapshot every that many simulated seconds (deferred by
@@ -214,6 +220,9 @@ func Run(cfg RunConfig) (*RunStats, error) {
 	}
 
 	if snap == nil {
+		if cfg.OnNetwork != nil {
+			cfg.OnNetwork(net)
+		}
 		net.Start()
 		inj.Start()
 		sample() // t=0 observation
@@ -223,6 +232,9 @@ func Run(cfg RunConfig) (*RunStats, error) {
 		sampler, err = resumeRun(net, snap, sample, fw, inj)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.OnNetwork != nil {
+			cfg.OnNetwork(net)
 		}
 	}
 

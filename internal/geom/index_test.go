@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -84,6 +85,107 @@ func TestIndexEdgeCases(t *testing.T) {
 	}
 }
 
+// TestIndexFieldEdges pins behavior for points sitting exactly on the
+// field boundary and for query centers on or beyond it: edge points live
+// in the clamped outermost buckets and must still be found from either
+// side, including by centers outside the field entirely.
+func TestIndexFieldEdges(t *testing.T) {
+	f := NewField(12, 12)
+	pts := []Point{
+		{0, 0}, {12, 0}, {0, 12}, {12, 12}, // corners
+		{6, 0}, {6, 12}, {0, 6}, {12, 6}, // edge midpoints
+	}
+	idx := NewIndex(f, pts, 4)
+	for i, p := range pts {
+		if n := idx.CountWithin(p, 0); n < 1 {
+			t.Errorf("point %d at %v not found at zero radius", i, p)
+		}
+	}
+	// A center outside the field must still see boundary points in range.
+	if n := idx.CountWithin(Point{-3, -3}, 5); n != 1 {
+		t.Errorf("outside corner query: %d points, want 1 (the (0,0) corner)", n)
+	}
+	if n := idx.CountWithin(Point{15, 6}, 3); n != 1 {
+		t.Errorf("outside edge query: %d points, want 1 (the (12,6) midpoint)", n)
+	}
+	// Far outside: nothing in range.
+	if n := idx.CountWithin(Point{100, 100}, 10); n != 0 {
+		t.Errorf("distant query returned %d points", n)
+	}
+	// Points outside the declared field are clamped into the border
+	// buckets at build time but keep their true coordinates.
+	stray := NewIndex(f, []Point{{-2, 5}, {14, 5}}, 4)
+	if n := stray.CountWithin(Point{-2, 5}, 0.5); n != 1 {
+		t.Errorf("stray point below origin: %d, want 1", n)
+	}
+	if n := stray.CountWithin(Point{14, 5}, 0.5); n != 1 {
+		t.Errorf("stray point past width: %d, want 1", n)
+	}
+}
+
+// TestIndexBucketBorderStraddling exercises queries whose circle edge
+// lands exactly on bucket borders and on point positions: a point at
+// distance == radius is included (the contract says inclusive), whether
+// it sits inside the center's bucket, in an adjacent one, or exactly on
+// the shared border line.
+func TestIndexBucketBorderStraddling(t *testing.T) {
+	f := NewField(20, 20)
+	// Points on every bucket-border crossing of row y=10 (cell = 5), plus
+	// off-border controls.
+	pts := []Point{
+		{5, 10}, {10, 10}, {15, 10}, // on vertical borders
+		{10, 5}, {10, 15}, // on horizontal borders
+		{7.5, 10}, {12.5, 10}, // bucket interiors
+	}
+	idx := NewIndex(f, pts, 5)
+
+	// Center exactly on a 4-bucket corner; radius exactly reaching the
+	// neighboring border points.
+	if n := idx.CountWithin(Point{10, 10}, 5); n != 7 {
+		t.Errorf("corner-centered query r=5: %d points, want all 7", n)
+	}
+	// Radius epsilon short of the border points: only the center point
+	// and the interior ones within range survive.
+	if n := idx.CountWithin(Point{10, 10}, 5-1e-9); n != 3 {
+		t.Errorf("r=5-eps: %d points, want 3 (center + two interiors)", n)
+	}
+	// Exact inclusion at distance == radius across a bucket border.
+	if n := idx.CountWithin(Point{7.5, 10}, 2.5); n != 3 {
+		t.Errorf("interior center r=2.5: %d, want 3 (itself + borders at 5 and 10)", n)
+	}
+	// A zero-radius query on a border point finds exactly that point.
+	if n := idx.CountWithin(Point{5, 10}, 0); n != 1 {
+		t.Errorf("zero radius on border: %d, want 1", n)
+	}
+}
+
+// TestIndexDegenerateCellSize checks the cellSize guard rails: zero and
+// negative sizes fall back to the 1 m default instead of panicking or
+// corrupting bucket arithmetic.
+func TestIndexDegenerateCellSize(t *testing.T) {
+	f := NewField(10, 10)
+	pts := UniformDeploy(f, 60, stats.NewRNG(9))
+	for _, cell := range []float64{0, -1, -1e9} {
+		idx := NewIndex(f, pts, cell)
+		center := Point{5, 5}
+		want := 0
+		for _, p := range pts {
+			if center.Dist(p) <= 4 {
+				want++
+			}
+		}
+		if got := idx.CountWithin(center, 4); got != want {
+			t.Errorf("cellSize=%v: got %d points, want %d", cell, got, want)
+		}
+	}
+	// Cell size far larger than the field degenerates to one bucket and
+	// must still answer correctly.
+	one := NewIndex(f, pts, 1e6)
+	if got, want := one.CountWithin(Point{5, 5}, 100), len(pts); got != want {
+		t.Errorf("giant cell: got %d, want %d", got, want)
+	}
+}
+
 func TestIndexDeterministicOrder(t *testing.T) {
 	f := NewField(20, 20)
 	pts := UniformDeploy(f, 100, stats.NewRNG(8))
@@ -134,7 +236,7 @@ func TestIndexQuick(t *testing.T) {
 			}
 		}
 		return idx.CountWithin(center, radius) == want
-	}, &quick.Config{MaxCount: 100})
+	}, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(6))})
 	if err != nil {
 		t.Error(err)
 	}

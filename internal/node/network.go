@@ -31,6 +31,12 @@ type Config struct {
 	Seed int64
 	// Positions, when non-nil, overrides uniform deployment (len == N).
 	Positions []geom.Point
+	// NodeSeeds, when non-nil, pins each node's private RNG seed
+	// (len == N). Together with Positions this makes per-node randomness
+	// a property of the physical node rather than of its index, so a
+	// deployment can be relabeled (IDs permuted) without changing any
+	// node's behavior — the lever the metamorphic relabeling tests use.
+	NodeSeeds []int64
 }
 
 // DefaultConfig returns the paper's evaluation setup (§5.1-5.2) for n
@@ -118,6 +124,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.Positions != nil && len(cfg.Positions) != cfg.N {
 		return nil, fmt.Errorf("node: %d positions for %d nodes", len(cfg.Positions), cfg.N)
 	}
+	if cfg.NodeSeeds != nil && len(cfg.NodeSeeds) != cfg.N {
+		return nil, fmt.Errorf("node: %d node seeds for %d nodes", len(cfg.NodeSeeds), cfg.N)
+	}
 
 	root := stats.NewRNG(cfg.Seed)
 	deployRNG := root.Split()
@@ -146,12 +155,18 @@ func NewNetwork(cfg Config) (*Network, error) {
 
 	for i := 0; i < cfg.N; i++ {
 		charge := energyRNG.Uniform(cfg.InitialEnergyMin, cfg.InitialEnergyMax)
+		// The derived seed stream is always drawn so explicit NodeSeeds
+		// leave every other RNG stream's draw order untouched.
+		seed := nodeSeedRNG.Int63()
+		if cfg.NodeSeeds != nil {
+			seed = cfg.NodeSeeds[i]
+		}
 		n := &Node{
 			id:      core.NodeID(i),
 			pos:     positions[i],
 			network: net,
 			battery: energy.NewBattery(cfg.Energy, charge),
-			rng:     stats.NewRNG(nodeSeedRNG.Int63()),
+			rng:     stats.NewRNG(seed),
 		}
 		n.proto = core.New(core.NodeID(i), cfg.Protocol, n)
 		net.Nodes[i] = n

@@ -1,0 +1,84 @@
+package oracle
+
+import (
+	"fmt"
+
+	"peas/internal/checkpoint"
+	"peas/internal/experiment"
+)
+
+// ChainResult reports one differential checkpoint verification.
+type ChainResult struct {
+	// Boundaries is the number of checkpoint boundaries captured by the
+	// direct run.
+	Boundaries int
+	// FinalHash is the direct run's end-of-run state hash.
+	FinalHash string
+	// Mismatches lists boundaries whose resumed run diverged, as
+	// "t=<boundary>: <resumed hash>" strings.
+	Mismatches []string
+}
+
+// VerifyChain checks the checkpoint determinism contract exhaustively:
+// it runs cfg once, capturing a snapshot every `every` simulated seconds
+// plus the final state, then resumes a fresh run from every captured
+// boundary and requires each resumed run to end bit-identical (equal
+// StateHash) to the direct run. This is the differential form of the
+// "checkpoint+resume reproduces the direct run" invariant: a divergence
+// at any boundary means some state escaped the snapshot or the restore
+// path rounds differently than the uninterrupted trajectory.
+//
+// cfg must not already use the checkpoint hooks (CheckpointEvery,
+// OnCheckpoint, Resume); VerifyChain owns them.
+func VerifyChain(cfg experiment.RunConfig, every float64) (*ChainResult, error) {
+	if cfg.CheckpointEvery != 0 || cfg.OnCheckpoint != nil || cfg.Resume != nil {
+		return nil, fmt.Errorf("oracle: VerifyChain owns the checkpoint hooks")
+	}
+	if every <= 0 {
+		return nil, fmt.Errorf("oracle: checkpoint interval %v must be positive", every)
+	}
+
+	var snaps []*checkpoint.Snapshot
+	direct := cfg
+	direct.CaptureFinal = true
+	direct.CheckpointEvery = every
+	direct.OnCheckpoint = func(s *checkpoint.Snapshot) bool {
+		snaps = append(snaps, s)
+		return false
+	}
+	res, err := experiment.Run(direct)
+	if err != nil {
+		return nil, err
+	}
+	out := &ChainResult{
+		Boundaries: len(snaps),
+		FinalHash:  res.FinalState.StateHashHex(),
+	}
+
+	for _, snap := range snaps {
+		resumed := experiment.RunConfig{
+			Resume:       snap,
+			CaptureFinal: true,
+			Trace:        cfg.Trace,
+			OnNetwork:    cfg.OnNetwork,
+		}
+		rres, err := experiment.Run(resumed)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: resume from t=%.1f: %w", snap.SimTime, err)
+		}
+		if h := rres.FinalState.StateHashHex(); h != out.FinalHash {
+			out.Mismatches = append(out.Mismatches,
+				fmt.Sprintf("t=%.1f: %s", snap.SimTime, h))
+		}
+	}
+	return out, nil
+}
+
+// Err returns nil when every resumed run matched the direct run.
+func (r *ChainResult) Err() error {
+	if len(r.Mismatches) == 0 {
+		return nil
+	}
+	return fmt.Errorf("oracle: %d of %d checkpoint resumes diverged from direct hash %s (first: %s)",
+		len(r.Mismatches), r.Boundaries, r.FinalHash, r.Mismatches[0])
+}

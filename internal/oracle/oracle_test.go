@@ -1,0 +1,110 @@
+package oracle
+
+import (
+	"testing"
+
+	"peas/internal/experiment"
+	"peas/internal/node"
+)
+
+// TestBaselineZeroViolations runs the paper's §4 baseline — 160 nodes on
+// the 50x50 m field with multi-PROBE, adaptive sleeping and the
+// redundant-worker turn-off all enabled, the base failure rate, and the
+// data workload — with every invariant armed, and expects silence.
+func TestBaselineZeroViolations(t *testing.T) {
+	var c *Checker
+	cfg := experiment.RunConfig{
+		Network:          node.DefaultConfig(160, 7),
+		FailuresPer5000s: experiment.BaseFailuresPer5000,
+		Horizon:          5000,
+		Forwarding:       true,
+		OnNetwork: func(net *node.Network) {
+			c = Attach(net, DefaultConfig())
+		},
+	}
+	if _, err := experiment.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if c == nil {
+		t.Fatal("OnNetwork hook never ran")
+	}
+	for _, v := range c.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleDoesNotPerturb asserts the non-interference contract: a run
+// with the checker attached ends in the exact same model state (equal
+// StateHash) as the same run without it. Everything the oracle observes
+// would be meaningless if observation nudged the trajectory.
+func TestOracleDoesNotPerturb(t *testing.T) {
+	base := experiment.RunConfig{
+		Network:          node.DefaultConfig(60, 42),
+		FailuresPer5000s: 10,
+		Horizon:          2000,
+		Forwarding:       true,
+		CaptureFinal:     true,
+	}
+	plain, err := experiment.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instrumented := base
+	var c *Checker
+	instrumented.OnNetwork = func(net *node.Network) {
+		c = Attach(net, DefaultConfig())
+	}
+	checked, err := experiment.Run(instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Err(); err != nil {
+		t.Error(err)
+	}
+
+	ph, ch := plain.FinalState.StateHashHex(), checked.FinalState.StateHashHex()
+	if ph != ch {
+		t.Errorf("oracle perturbed the run: plain %s vs instrumented %s", ph, ch)
+	}
+}
+
+// TestScenarioSweep arms the checker across the protocol/radio corner
+// scenarios: collisions off, fixed transmission power, packet loss,
+// signal irregularity, turn-off disabled, single-PROBE. None may violate
+// an invariant (checks that a configuration can break — e.g. the overlap
+// rule under loss — disarm themselves).
+func TestScenarioSweep(t *testing.T) {
+	mutate := map[string]func(*node.Config){
+		"no-collisions": func(c *node.Config) { c.Radio.CollisionsEnabled = false },
+		"fixed-power":   func(c *node.Config) { c.Radio.FixedPower = true },
+		"loss-10pct":    func(c *node.Config) { c.Radio.LossRate = 0.10 },
+		"irregular":     func(c *node.Config) { c.Radio.Irregularity = 0.3 },
+		"no-turnoff":    func(c *node.Config) { c.Protocol.TurnoffEnabled = false },
+		"single-probe":  func(c *node.Config) { c.Protocol.NumProbes = 1 },
+	}
+	for name, mut := range mutate {
+		t.Run(name, func(t *testing.T) {
+			ncfg := node.DefaultConfig(80, 21)
+			mut(&ncfg)
+			var c *Checker
+			cfg := experiment.RunConfig{
+				Network:          ncfg,
+				FailuresPer5000s: 10,
+				Horizon:          2500,
+				OnNetwork: func(net *node.Network) {
+					c = Attach(net, DefaultConfig())
+				},
+			}
+			if _, err := experiment.Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range c.Violations() {
+				t.Errorf("violation: %s", v)
+			}
+		})
+	}
+}

@@ -115,6 +115,11 @@ type Medium struct {
 	// in flight never need to be serialized.
 	inflight int
 
+	// OnTransmit, when set, observes every frame put on the air. It fires
+	// after carrier-sense deferrals resolve, at the moment the
+	// transmission actually starts. Observers must be read-only.
+	OnTransmit func(pkt Packet)
+
 	// Counters for the experiment harness.
 	sent      uint64
 	delivered uint64
@@ -252,9 +257,17 @@ func (m *Medium) Broadcast(pkt Packet) {
 		m.inflight++
 		m.engine.Schedule(delay, func() {
 			m.inflight--
+			// The sender may have slept or died during the deferral; a
+			// powered-down radio cannot resume the transmission.
+			if snd := m.nodes[pkt.From]; snd == nil || !snd.Listening() {
+				return
+			}
 			m.Broadcast(pkt)
 		})
 		return
+	}
+	if m.OnTransmit != nil {
+		m.OnTransmit(pkt)
 	}
 	m.sent++
 	m.bytesSent += uint64(pkt.Size)

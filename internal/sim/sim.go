@@ -78,6 +78,12 @@ type Engine struct {
 	queue    eventQueue
 	executed uint64
 	stopped  bool
+
+	// OnEvent, when set, observes every executed event: it runs with the
+	// clock already advanced to the event's time, immediately before the
+	// event callback. It must be read-only — scheduling, cancelling or
+	// consuming randomness from an observer would perturb the trajectory.
+	OnEvent func(t Time)
 }
 
 // NewEngine returns an engine with the clock at zero and an empty schedule.
@@ -160,6 +166,9 @@ func (e *Engine) Run(until Time) {
 		heap.Pop(&e.queue)
 		e.now = next.when
 		e.executed++
+		if e.OnEvent != nil {
+			e.OnEvent(next.when)
+		}
 		next.fn()
 	}
 	if e.now < until && until != Forever {
@@ -178,6 +187,9 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.when
 	e.executed++
+	if e.OnEvent != nil {
+		e.OnEvent(ev.when)
+	}
 	ev.fn()
 	return true
 }

@@ -43,6 +43,7 @@ import (
 	"peas/internal/experiment"
 	"peas/internal/geom"
 	"peas/internal/node"
+	"peas/internal/oracle"
 	"peas/internal/radio"
 	"peas/internal/render"
 	"peas/internal/scenario"
@@ -107,6 +108,42 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) { return checkpoint.Deco
 // run. cmd/peas-sim exposes it as the -verify mode.
 func VerifyCheckpoint(cfg RunConfig) (*CheckpointVerifyResult, error) {
 	return experiment.VerifyCheckpoint(cfg)
+}
+
+// InvariantChecker is a read-only runtime oracle watching a live run for
+// protocol and physics violations: energy-ledger conservation, radio
+// discipline of sleeping/dead nodes, redundant-worker resolution, timer
+// monotonicity and battery/lifecycle agreement. Attach one with
+// AttachChecker; it never perturbs the simulation (the run's StateHash is
+// bit-identical with and without it). cmd/peas-sim exposes it as -check.
+type InvariantChecker = oracle.Checker
+
+// InvariantConfig tunes the oracle's scan interval, tolerances and
+// violation cap.
+type InvariantConfig = oracle.Config
+
+// InvariantViolation is one detected contract breach, timestamped in
+// simulated seconds.
+type InvariantViolation = oracle.Violation
+
+// DefaultInvariantConfig returns the oracle defaults used by -check.
+func DefaultInvariantConfig() InvariantConfig { return oracle.DefaultConfig() }
+
+// AttachChecker arms the runtime invariant oracle on a network that has
+// not started yet (e.g. from RunConfig.OnNetwork).
+func AttachChecker(net *Network, cfg InvariantConfig) *InvariantChecker {
+	return oracle.Attach(net, cfg)
+}
+
+// ChainVerifyResult reports a multi-boundary checkpoint differential
+// verification; see VerifyCheckpointChain.
+type ChainVerifyResult = oracle.ChainResult
+
+// VerifyCheckpointChain runs cfg once, snapshots every `every` simulated
+// seconds, then resumes from every boundary and requires each resumed
+// run to reach the direct run's exact final StateHash.
+func VerifyCheckpointChain(cfg RunConfig, every float64) (*ChainVerifyResult, error) {
+	return oracle.VerifyChain(cfg, every)
 }
 
 // TraceRecorder buffers structured simulation events (state changes,
