@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"peas"
+	"peas/internal/chaos"
 	"peas/peasnet"
 )
 
@@ -36,6 +37,7 @@ func run() error {
 		transport = flag.String("transport", "mem", "transport: mem or udp")
 		kill      = flag.Duration("kill", 0, "after this real duration, kill all working nodes to exercise replacement (0 = never)")
 		status    = flag.String("status", "", "serve cluster status JSON on this address (e.g. :8080)")
+		chaosOn   = flag.Bool("chaos", false, "inject channel impairments (5% loss, 5% duplication, 20% delayed frames) and report fault counters at exit")
 	)
 	flag.Parse()
 
@@ -49,6 +51,31 @@ func run() error {
 		return fmt.Errorf("unknown transport %q", *transport)
 	}
 	defer func() { _ = tr.Close() }()
+
+	var inj *peasnet.ChaosInjector
+	if *chaosOn {
+		ft, ok := tr.(peasnet.FaultTransport)
+		if !ok {
+			return fmt.Errorf("transport %q does not accept a fault injector", *transport)
+		}
+		channel := chaos.NewChannel(time.Now().UnixNano(), nil)
+		channel.SetLoss(0.05)
+		channel.SetDuplication(0.05)
+		channel.SetDelay(0.2, 0.05)
+		inj = peasnet.NewChaosInjector(channel, *scale)
+		ft.SetFaultInjector(inj)
+		defer func() {
+			fmt.Println("chaos activity:")
+			inj.With(func(c *chaos.Channel) {
+				for _, name := range c.Counters().Names() {
+					fmt.Printf("  %-14s %8d\n", name, c.Counters().Get(name))
+				}
+			})
+			if d, ok := tr.(interface{ Dropped() uint64 }); ok {
+				fmt.Printf("  %-14s %8d\n", "frames dropped", d.Dropped())
+			}
+		}()
+	}
 
 	cluster, err := peasnet.NewCluster(peasnet.ClusterConfig{
 		Field:     peas.Field{Width: *fieldSize, Height: *fieldSize},

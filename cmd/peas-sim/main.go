@@ -28,6 +28,7 @@ import (
 	"strconv"
 
 	"peas"
+	"peas/internal/experiment"
 	"peas/internal/scenario"
 )
 
@@ -60,6 +61,7 @@ func run() error {
 		resume    = flag.String("resume", "", "resume from this checkpoint file instead of starting fresh")
 		verify    = flag.Bool("verify", false, "check checkpoint determinism: direct run vs checkpoint+resume must hash equal")
 		check     = flag.Bool("check", false, "run with the runtime invariant oracle armed and verify the checkpoint chain; non-zero exit on any violation")
+		chaosPlan = flag.String("chaos-plan", "", `run under a scripted fault plan: a JSON file path or "mixed" (see peas-chaos)`)
 	)
 	flag.Parse()
 
@@ -82,6 +84,32 @@ func run() error {
 		cfg.Network.Protocol.InitialRate = *lambda0
 		cfg.Network.Protocol.TurnoffEnabled = *turnoff
 		cfg.Network.Radio.LossRate = *loss
+	}
+
+	var chaosCounters *peas.FaultCounters
+	if *chaosPlan != "" {
+		if *verify || *check || *resume != "" || *ckptEvery > 0 {
+			return fmt.Errorf("-chaos-plan cannot combine with -verify, -check, -resume or -checkpoint-every (chaos state lives outside the checkpoint format)")
+		}
+		horizon := cfg.Horizon
+		if horizon <= 0 {
+			horizon = experiment.DefaultHorizon(cfg.Network.N)
+		}
+		var plan *peas.ChaosPlan
+		if *chaosPlan == "mixed" {
+			plan = peas.MixedChaosPlan(horizon, cfg.Network.Seed)
+		} else {
+			p, err := peas.LoadChaosPlan(*chaosPlan)
+			if err != nil {
+				return err
+			}
+			plan = p
+		}
+		chaosCounters = peas.NewFaultCounters()
+		cfg.Chaos = plan
+		cfg.ChaosCounters = chaosCounters
+		fmt.Printf("chaos plan:            %s (%d events, %d classes)\n",
+			plan.Name, len(plan.Events), len(plan.Classes()))
 	}
 
 	if *verify {
@@ -223,6 +251,12 @@ func run() error {
 		res.FailuresInjected, 100*res.FailedFraction)
 	fmt.Printf("packets:               sent=%d delivered=%d collided=%d\n",
 		res.PacketsSent, res.PacketsDelivered, res.PacketsCollided)
+	if chaosCounters != nil {
+		fmt.Println("chaos activity:")
+		for _, name := range chaosCounters.Names() {
+			fmt.Printf("  %-20s %8d\n", name, chaosCounters.Get(name))
+		}
+	}
 	return nil
 }
 

@@ -168,7 +168,10 @@ func encodeNodeState(e *enc, st *node.NodeState) {
 		e.f64(v)
 	}
 
-	p := &st.Proto
+	encodeProtocolState(e, &st.Proto)
+}
+
+func encodeProtocolState(e *enc, p *core.ProtocolState) {
 	e.u8(uint8(p.State))
 	e.f64(p.StateSince)
 	e.f64(p.Lambda)
@@ -476,7 +479,10 @@ func decodeNodeState(d *dec, st *node.NodeState) {
 		b.ConsumedByMode[i] = d.f64()
 	}
 
-	p := &st.Proto
+	decodeProtocolState(d, &st.Proto)
+}
+
+func decodeProtocolState(d *dec, p *core.ProtocolState) {
 	p.State = core.State(d.u8())
 	p.StateSince = d.f64()
 	p.Lambda = d.f64()

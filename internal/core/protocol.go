@@ -155,6 +155,17 @@ func (p *Protocol) Fail() {
 	p.enter(Dead)
 }
 
+// Reboot restarts a failed state machine from scratch, as a rebooted node
+// would: volatile state — the adapted rate λ, the estimator, REPLYs heard
+// — resets to boot values, while the cumulative counters survive for the
+// harness. The chaos layer's fail-recover fault class uses it.
+func (p *Protocol) Reboot() {
+	p.lambda = p.cfg.InitialRate
+	p.estimator.Reset()
+	p.heard = p.heard[:0]
+	p.Start()
+}
+
 // enter performs the bookkeeping common to all transitions.
 func (p *Protocol) enter(s State) {
 	now := p.platform.Now()

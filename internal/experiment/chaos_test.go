@@ -1,0 +1,123 @@
+// Chaos detection suite: proves every scripted fault class actually
+// fires against the simulator, that PEAS keeps its invariants under
+// fault load, and that chaos campaigns are reproducible. Lives in an
+// external test package because the oracle imports experiment.
+package experiment_test
+
+import (
+	"strings"
+	"testing"
+
+	"peas/internal/chaos"
+	"peas/internal/checkpoint"
+	"peas/internal/experiment"
+	"peas/internal/metrics"
+	"peas/internal/node"
+	"peas/internal/oracle"
+)
+
+func chaosConfig(n int, seed int64, horizon float64, plan *chaos.Plan, counters *metrics.Counters) experiment.RunConfig {
+	return experiment.RunConfig{
+		Network: node.DefaultConfig(n, seed),
+		Horizon: horizon,
+		// The plan is the only fault source; the runner's own §5.2
+		// injector stays off.
+		FailuresPer5000s: 0,
+		Chaos:            plan,
+		ChaosCounters:    counters,
+	}
+}
+
+func TestMixedPlanExercisesEveryClassUnderOracle(t *testing.T) {
+	const horizon = 2000
+	plan := chaos.MixedPlan(horizon, 7)
+	counters := metrics.NewCounters()
+	cfg := chaosConfig(120, 7, horizon, plan, counters)
+	var chk *oracle.Checker
+	cfg.OnNetwork = func(net *node.Network) { chk = oracle.Attach(net, oracle.DefaultConfig()) }
+
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := chaos.Unexercised(plan.Classes(), counters); len(missing) > 0 {
+		t.Errorf("fault classes never fired: %v (counters: %v)", missing, counters.Snapshot())
+	}
+	if err := chk.Err(); err != nil {
+		t.Errorf("invariant oracle under chaos: %v", err)
+	}
+	if chk.Dropped() > 0 {
+		t.Errorf("oracle dropped %d violations", chk.Dropped())
+	}
+	for name, v := range res.Chaos {
+		if counters.Get(name) != v {
+			t.Errorf("RunStats.Chaos[%s] = %d, counters say %d", name, v, counters.Get(name))
+		}
+	}
+	// Graceful degradation, not collapse: the network still boots to near
+	// full sensing coverage with the mixed plan active.
+	if res.InitialCoverage[0] < 0.9 {
+		t.Errorf("initial 1-coverage %.3f under chaos; expected near-full", res.InitialCoverage[0])
+	}
+}
+
+func TestChaosCampaignDeterminism(t *testing.T) {
+	const horizon = 1200
+	run := func() string {
+		cfg := chaosConfig(80, 11, horizon, chaos.MixedPlan(horizon, 11), nil)
+		cfg.CaptureFinal = true
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalState.StateHashHex()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same plan + seed produced different final state hashes:\n  %s\n  %s", a, b)
+	}
+}
+
+func TestChaosRejectsCheckpointCombinations(t *testing.T) {
+	plan := chaos.MixedPlan(1000, 1)
+	resume := chaosConfig(40, 1, 1000, plan, nil)
+	resume.Resume = &checkpoint.Snapshot{Net: node.DefaultConfig(40, 1)}
+	if _, err := experiment.Run(resume); err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Errorf("Chaos+Resume: err = %v, want resume rejection", err)
+	}
+	periodic := chaosConfig(40, 1, 1000, plan, nil)
+	periodic.CheckpointEvery = 100
+	periodic.OnCheckpoint = func(*checkpoint.Snapshot) bool { return false }
+	if _, err := experiment.Run(periodic); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("Chaos+CheckpointEvery: err = %v, want checkpoint rejection", err)
+	}
+}
+
+func TestCrashRestartResumesPinnedSimNode(t *testing.T) {
+	victim := 3
+	plan := &chaos.Plan{
+		Name: "pinned-crash",
+		Seed: 5,
+		Events: []chaos.Event{
+			{Class: chaos.CrashRestart, At: 600, Downtime: 50, Victim: &victim},
+		},
+	}
+	counters := metrics.NewCounters()
+	cfg := chaosConfig(60, 5, 1500, plan, counters)
+	var chk *oracle.Checker
+	cfg.OnNetwork = func(net *node.Network) { chk = oracle.Attach(net, oracle.DefaultConfig()) }
+	if _, err := experiment.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := counters.Get(chaos.CtrCrash); got != 1 {
+		t.Errorf("crash counter = %d, want 1", got)
+	}
+	// restarted increments only when ReviveFrom accepts the checkpoint —
+	// the node rebooted with its pre-crash protocol state.
+	if got := counters.Get(chaos.CtrRestarted); got != 1 {
+		t.Errorf("restarted counter = %d, want 1 (checkpoint resume failed?)", got)
+	}
+	if err := chk.Err(); err != nil {
+		t.Errorf("oracle after crash-restart: %v", err)
+	}
+}

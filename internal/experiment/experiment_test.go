@@ -36,7 +36,8 @@ func TestRunDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *a != *b {
+	// RunStats contains a map (chaos counters), so compare via formatting.
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
 		t.Errorf("same config diverged:\n%+v\n%+v", a, b)
 	}
 }

@@ -4,8 +4,10 @@
 package experiment
 
 import (
+	"fmt"
 	"math"
 
+	"peas/internal/chaos"
 	"peas/internal/checkpoint"
 	"peas/internal/core"
 	"peas/internal/coverage"
@@ -85,6 +87,18 @@ type RunConfig struct {
 	// CaptureFinal captures the end-of-run state into RunStats.FinalState
 	// so callers can compare state hashes across runs.
 	CaptureFinal bool
+
+	// Chaos, when non-nil, attaches the scripted fault-plan engine to the
+	// run: channel impairments on the radio medium plus node-fault events,
+	// all derived from the plan's seed. Chaos state lives outside the
+	// checkpoint format, so it cannot combine with Resume or
+	// CheckpointEvery (the determinism check for chaos runs is instead
+	// same-plan+seed double-run final-hash equality via CaptureFinal).
+	Chaos *chaos.Plan
+	// ChaosCounters, when non-nil, receives the per-fault-class counters;
+	// a fresh set is allocated otherwise. RunStats.Chaos exposes the
+	// final values either way.
+	ChaosCounters *metrics.Counters
 }
 
 // DefaultHorizon returns a horizon long enough for a deployment of n
@@ -135,6 +149,9 @@ type RunStats struct {
 	PacketsCollided  uint64
 	// FinalState is the end-of-run snapshot (nil unless CaptureFinal).
 	FinalState *checkpoint.Snapshot
+	// Chaos holds the final per-fault-class counters of a chaos run (nil
+	// otherwise).
+	Chaos map[string]uint64
 }
 
 // Run executes one simulation and gathers the paper's metrics. When
@@ -154,6 +171,19 @@ func Run(cfg RunConfig) (*RunStats, error) {
 	net, err := node.NewNetwork(cfg.Network)
 	if err != nil {
 		return nil, err
+	}
+	var chaosCtl *chaos.Controller
+	if cfg.Chaos != nil {
+		if snap != nil {
+			return nil, fmt.Errorf("experiment: chaos plans cannot resume from a checkpoint (chaos state is outside the snapshot format)")
+		}
+		if cfg.CheckpointEvery > 0 {
+			return nil, fmt.Errorf("experiment: chaos plans cannot take mid-run checkpoints; compare final-state hashes instead")
+		}
+		chaosCtl, err = chaos.AttachSim(net, cfg.Chaos, cfg.ChaosCounters)
+		if err != nil {
+			return nil, err
+		}
 	}
 	horizon := cfg.Horizon
 	if horizon <= 0 {
@@ -214,6 +244,7 @@ func Run(cfg RunConfig) (*RunStats, error) {
 			net.Engine.Stop()
 		}
 	}
+	net.OnRevive = func(core.NodeID) { alive++ }
 	if cfg.Trace != nil {
 		// Attach last so the recorder chains the hooks above.
 		trace.Attach(cfg.Trace, net)
@@ -285,6 +316,9 @@ func Run(cfg RunConfig) (*RunStats, error) {
 		res.ReportsGenerated, res.ReportsDelivered = fw.Ratio().Counts()
 	}
 	res.PacketsSent, res.PacketsDelivered, res.PacketsCollided, _, _ = net.Medium.Stats()
+	if chaosCtl != nil {
+		res.Chaos = chaosCtl.Counters().Snapshot()
+	}
 	if cfg.CaptureFinal {
 		res.FinalState = capture()
 	}

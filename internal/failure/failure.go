@@ -14,9 +14,40 @@ import (
 // failures per second.
 func RatePer5000s(failures float64) float64 { return failures / 5000 }
 
-// Injector schedules Poisson-distributed failures on a network. Failures
-// pick a uniformly random alive node, so both working and sleeping nodes
-// fail, as in the paper.
+// VictimPolicy selects which alive nodes are eligible victims.
+type VictimPolicy int
+
+// Victim policies.
+const (
+	// AnyAlive picks uniformly over all alive nodes, working and sleeping
+	// alike — the paper's §5.2 methodology and the default.
+	AnyAlive VictimPolicy = iota
+	// WorkingOnly targets nodes currently in Working mode, stressing the
+	// replacement machinery directly.
+	WorkingOnly
+	// SleepingOnly targets alive nodes not currently working, thinning
+	// the reserve the protocol draws replacements from.
+	SleepingOnly
+)
+
+// Filter returns the node predicate the policy stands for (nil means
+// every alive node qualifies), in the shape Network.PickAlive accepts.
+func (p VictimPolicy) Filter() func(*node.Node) bool {
+	switch p {
+	case WorkingOnly:
+		return func(n *node.Node) bool { return n.Working() }
+	case SleepingOnly:
+		return func(n *node.Node) bool { return !n.Working() }
+	default:
+		return nil
+	}
+}
+
+// Injector schedules Poisson-distributed failures on a network. By
+// default failures pick a uniformly random alive node, so both working
+// and sleeping nodes fail, as in the paper; SetPolicy narrows the victim
+// set and SetRecovery makes failures transient (crash + revive) instead
+// of fail-stop.
 type Injector struct {
 	net      *node.Network
 	rng      *stats.RNG
@@ -25,6 +56,11 @@ type Injector struct {
 	victims  []core.NodeID
 	stopped  bool
 	nextAt   float64 // absolute time of the pending arrival; -1 when none
+
+	policy    VictimPolicy
+	downtime  float64 // > 0: transient failures that revive after this long
+	onFail    func(core.NodeID)
+	onRecover func(core.NodeID)
 }
 
 // NewInjector attaches an injector with the given rate (failures/second)
@@ -32,6 +68,26 @@ type Injector struct {
 // produces no failures.
 func NewInjector(net *node.Network, rate float64, rng *stats.RNG) *Injector {
 	return &Injector{net: net, rng: rng, rate: rate, nextAt: -1}
+}
+
+// SetPolicy selects the victim policy. Call before Start. Non-default
+// policies are for chaos campaigns; InjectorState does not carry them, so
+// they are incompatible with checkpoint snapshots (chaos runs never
+// checkpoint).
+func (in *Injector) SetPolicy(p VictimPolicy) { in.policy = p }
+
+// SetRecovery makes injected failures transient: victims crash (battery
+// preserved, volatile state lost) and revive after downtime seconds. Call
+// before Start; zero restores fail-stop. Like SetPolicy, recovery is a
+// chaos-campaign feature outside the checkpoint contract.
+func (in *Injector) SetRecovery(downtime float64) { in.downtime = downtime }
+
+// SetHooks installs per-failure observers: onFail fires for every injected
+// failure (fail-stop or transient), onRecover when a transient victim
+// comes back. Either may be nil.
+func (in *Injector) SetHooks(onFail, onRecover func(core.NodeID)) {
+	in.onFail = onFail
+	in.onRecover = onRecover
 }
 
 // Start schedules the first failure arrival.
@@ -63,9 +119,25 @@ func (in *Injector) arrive() {
 	if in.stopped {
 		return
 	}
-	if id := in.net.FailRandomAlive(in.rng); id >= 0 {
+	victim := in.net.PickAlive(in.rng, in.policy.Filter())
+	if victim != nil {
+		id := victim.ID()
+		if in.downtime > 0 {
+			victim.Crash()
+			down := in.downtime
+			in.net.Engine.Schedule(down, func() {
+				if victim.Revive() && in.onRecover != nil {
+					in.onRecover(id)
+				}
+			})
+		} else {
+			victim.Fail(node.InjectedFailure)
+		}
 		in.injected++
 		in.victims = append(in.victims, id)
+		if in.onFail != nil {
+			in.onFail(id)
+		}
 	}
 	in.scheduleNext()
 }

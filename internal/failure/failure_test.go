@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"peas/internal/core"
 	"peas/internal/node"
 	"peas/internal/stats"
 )
@@ -88,6 +89,149 @@ func TestInjectorExhaustsNetwork(t *testing.T) {
 	}
 	if inj.Injected() != 10 {
 		t.Errorf("injected = %d, want all 10", inj.Injected())
+	}
+}
+
+// TestInterFailureGapsAreExponential checks the §5.2 arrival process
+// statistically: with recovery keeping the victim pool alive, observed
+// inter-failure gaps at rate λ=1/s must have mean ≈ 1/λ and coefficient
+// of variation ≈ 1 — the exponential signature (a periodic process would
+// show CV ≈ 0, a clustered one CV ≫ 1).
+func TestInterFailureGapsAreExponential(t *testing.T) {
+	net := testNetwork(t, 100)
+	inj := NewInjector(net, 1.0, stats.NewRNG(7))
+	inj.SetRecovery(0.5) // transient crashes: the pool never thins out
+	var times []float64
+	inj.SetHooks(func(core.NodeID) { times = append(times, net.Engine.Now()) }, nil)
+	net.Start()
+	inj.Start()
+	net.Run(1000)
+
+	if len(times) < 800 {
+		t.Fatalf("only %d arrivals in 1000 s at 1/s", len(times))
+	}
+	var sum, sumSq float64
+	n := len(times) - 1
+	for i := 1; i < len(times); i++ {
+		g := times[i] - times[i-1]
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	cv := math.Sqrt(variance) / mean
+	if mean < 0.85 || mean > 1.15 {
+		t.Errorf("mean inter-failure gap %.3f s, want ≈ 1.0", mean)
+	}
+	if cv < 0.85 || cv > 1.15 {
+		t.Errorf("gap CV %.3f, want ≈ 1 (exponential)", cv)
+	}
+}
+
+// TestVictimsUniformOverAliveNodes drives ~2000 transient strikes over
+// 100 nodes and checks the victim histogram is consistent with uniform
+// selection: essentially every node gets struck, and no node is struck
+// wildly more often than the mean.
+func TestVictimsUniformOverAliveNodes(t *testing.T) {
+	net := testNetwork(t, 100)
+	inj := NewInjector(net, 2.0, stats.NewRNG(8))
+	inj.SetRecovery(1)
+	net.Start()
+	inj.Start()
+	net.Run(1000)
+
+	victims := inj.Victims()
+	if len(victims) < 1600 {
+		t.Fatalf("only %d strikes", len(victims))
+	}
+	counts := make(map[core.NodeID]int)
+	for _, id := range victims {
+		counts[id]++
+	}
+	if len(counts) < 95 {
+		t.Errorf("only %d of 100 nodes ever struck; selection not uniform", len(counts))
+	}
+	mean := float64(len(victims)) / 100
+	for id, c := range counts {
+		if float64(c) > 2.5*mean {
+			t.Errorf("node %d struck %d times (mean %.1f); selection not uniform", id, c, mean)
+		}
+	}
+}
+
+// TestVictimPoliciesFilterCorrectly verifies the policy predicates at the
+// selection layer (PickAlive), where the victim's pre-strike state is
+// still observable: WorkingOnly only yields working nodes, SleepingOnly
+// only non-working ones, and the default draws both classes roughly in
+// proportion to their population — the paper's "randomly distributed"
+// failures hit sleepers and workers alike.
+func TestVictimPoliciesFilterCorrectly(t *testing.T) {
+	net := testNetwork(t, 100)
+	net.Start()
+	net.Run(400) // let roles settle past the boot transient
+
+	working, alive := 0, 0
+	for _, n := range net.Nodes {
+		if n.Alive() {
+			alive++
+			if n.Working() {
+				working++
+			}
+		}
+	}
+	if working == 0 || working == alive {
+		t.Fatalf("degenerate role split: %d working of %d alive", working, alive)
+	}
+
+	rng := stats.NewRNG(9)
+	for i := 0; i < 300; i++ {
+		if v := net.PickAlive(rng, WorkingOnly.Filter()); v == nil || !v.Working() {
+			t.Fatalf("WorkingOnly yielded %v", v)
+		}
+		if v := net.PickAlive(rng, SleepingOnly.Filter()); v == nil || v.Working() {
+			t.Fatalf("SleepingOnly yielded a working node")
+		}
+	}
+
+	const draws = 4000
+	workingDraws := 0
+	for i := 0; i < draws; i++ {
+		if net.PickAlive(rng, AnyAlive.Filter()).Working() {
+			workingDraws++
+		}
+	}
+	got := float64(workingDraws) / draws
+	want := float64(working) / float64(alive)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("AnyAlive drew working nodes at rate %.3f, population fraction %.3f", got, want)
+	}
+}
+
+// TestRecoveryRevivesEveryVictim: with SetRecovery, every injected crash
+// must be matched by a completed revival once the downtime elapses.
+func TestRecoveryRevivesEveryVictim(t *testing.T) {
+	net := testNetwork(t, 50)
+	inj := NewInjector(net, 1.0, stats.NewRNG(10))
+	inj.SetRecovery(5)
+	fails, recovers := 0, 0
+	inj.SetHooks(func(core.NodeID) { fails++ }, func(core.NodeID) { recovers++ })
+	net.Start()
+	inj.Start()
+	net.Run(200)
+	inj.Stop()
+	net.Run(250) // drain pending revivals
+
+	if fails == 0 {
+		t.Fatal("no failures injected")
+	}
+	if fails != inj.Injected() {
+		t.Errorf("onFail fired %d times, Injected() = %d", fails, inj.Injected())
+	}
+	if recovers != fails {
+		t.Errorf("%d recoveries for %d transient failures", recovers, fails)
+	}
+	if alive := net.AliveCount(); alive != 50 {
+		t.Errorf("%d of 50 alive after all revivals", alive)
 	}
 }
 

@@ -64,10 +64,13 @@ type Network struct {
 
 	cfg Config
 
-	// OnState, OnDeath and OnDeliver are optional observer hooks used by
-	// the metrics layer; they may be nil. Set them before Start.
+	// OnState, OnDeath, OnRevive and OnDeliver are optional observer hooks
+	// used by the metrics layer; they may be nil. Set them before Start.
+	// OnRevive fires when a transiently failed node comes back via Revive
+	// or ReviveFrom.
 	OnState   func(id core.NodeID, s core.State)
 	OnDeath   func(id core.NodeID, cause DeathCause)
+	OnRevive  func(id core.NodeID)
 	OnDeliver func(id core.NodeID, pkt radio.Packet, dist float64)
 }
 
@@ -273,19 +276,29 @@ func (net *Network) ChargeExtra(id core.NodeID, mode energy.Mode, joules float64
 	n.rescheduleDeath()
 }
 
+// PickAlive returns a uniformly chosen alive node satisfying filter (nil
+// accepts every alive node), or nil when none qualifies. The failure
+// injector's victim policies build on it.
+func (net *Network) PickAlive(rng *stats.RNG, filter func(*Node) bool) *Node {
+	candidates := make([]*Node, 0, len(net.Nodes))
+	for _, n := range net.Nodes {
+		if n.alive && (filter == nil || filter(n)) {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
 // FailRandomAlive kills one uniformly chosen alive node and returns its
 // ID, or -1 when none are left. The failure injector uses it.
 func (net *Network) FailRandomAlive(rng *stats.RNG) core.NodeID {
-	alive := make([]*Node, 0, len(net.Nodes))
-	for _, n := range net.Nodes {
-		if n.alive {
-			alive = append(alive, n)
-		}
-	}
-	if len(alive) == 0 {
+	victim := net.PickAlive(rng, nil)
+	if victim == nil {
 		return -1
 	}
-	victim := alive[rng.Intn(len(alive))]
 	victim.Fail(InjectedFailure)
 	return victim.id
 }

@@ -24,6 +24,11 @@ const (
 	// InjectedFailure is an artificial failure (paper §5.2: "failures
 	// are deaths not incurred by energy depletions").
 	InjectedFailure
+	// TransientFailure is an artificial failure the node later recovers
+	// from: the node powers off (losing volatile protocol state) but its
+	// battery is preserved, so a Revive can bring it back. The chaos
+	// layer's fail-recover and crash-restart fault classes use it.
+	TransientFailure
 )
 
 // String returns the cause name.
@@ -33,6 +38,8 @@ func (c DeathCause) String() string {
 		return "depletion"
 	case InjectedFailure:
 		return "failure"
+	case TransientFailure:
+		return "transient-failure"
 	default:
 		return "unknown"
 	}
@@ -170,6 +177,65 @@ func (n *Node) Fail(cause DeathCause) {
 	}
 	n.battery.Kill(n.Now())
 	n.die(cause)
+}
+
+// Crash powers the node off without depleting its battery: volatile
+// protocol state is lost but the remaining charge survives, so Revive or
+// ReviveFrom can bring the node back later. The chaos layer uses it for
+// the fail-recover and crash-restart fault classes. A crashed node draws
+// sleep-level current while down.
+func (n *Node) Crash() {
+	if !n.alive {
+		return
+	}
+	n.battery.SetMode(n.Now(), energy.Sleep)
+	n.die(TransientFailure)
+}
+
+// Revive reboots a transiently failed node from scratch: a fresh protocol
+// boot (volatile state was lost) over the preserved battery. It reports
+// whether the node came back; permanent deaths (depletion, fail-stop) and
+// exhausted batteries stay down.
+func (n *Node) Revive() bool {
+	if !n.revivable() {
+		return false
+	}
+	n.alive = true
+	n.cause = 0
+	n.diedAt = 0
+	n.proto.Reboot()
+	if n.network.OnRevive != nil {
+		n.network.OnRevive(n.id)
+	}
+	return true
+}
+
+// ReviveFrom restarts a transiently failed node from a captured protocol
+// snapshot, modelling a crash-restart that resumes from a checkpoint on
+// stable storage. Pending timers whose deadlines passed during the
+// downtime fire immediately after the restore. The downtime itself is not
+// attributed to the restored mode's time-in-state accumulators.
+func (n *Node) ReviveFrom(st core.ProtocolState) bool {
+	if !n.revivable() || st.State == core.Dead {
+		return false
+	}
+	n.alive = true
+	n.cause = 0
+	n.diedAt = 0
+	st.StateSince = n.Now()
+	n.proto.RestoreState(st)
+	// Re-apply the restored mode's side effects (battery mode, death
+	// scheduling, observer hooks) that RestoreState bypasses.
+	n.SetState(st.State)
+	n.proto.ResumeTimers(st.Timers)
+	if n.network.OnRevive != nil {
+		n.network.OnRevive(n.id)
+	}
+	return true
+}
+
+func (n *Node) revivable() bool {
+	return !n.alive && n.cause == TransientFailure && !n.battery.Dead()
 }
 
 func (n *Node) die(cause DeathCause) {

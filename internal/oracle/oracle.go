@@ -142,8 +142,9 @@ type Checker struct {
 
 	// Working overlap, keyed by (low ID, high ID). Disabled when the
 	// §4 turn-off extension is off (redundant pairs are then expected)
-	// or when channel loss or signal irregularity can legitimately keep
-	// the elder's REPLYs from the younger node.
+	// or when channel loss, signal irregularity, or an attached fault
+	// injector can legitimately keep the elder's REPLYs from the younger
+	// node.
 	pairs        map[[2]core.NodeID]*pairState
 	overlapAlive bool
 }
@@ -165,7 +166,8 @@ func Attach(net *node.Network, cfg Config) *Checker {
 		deadScans:     make([]int, len(net.Nodes)),
 		pairs:         make(map[[2]core.NodeID]*pairState),
 		overlapAlive: ncfg.Protocol.TurnoffEnabled &&
-			ncfg.Radio.LossRate == 0 && ncfg.Radio.Irregularity == 0,
+			ncfg.Radio.LossRate == 0 && ncfg.Radio.Irregularity == 0 &&
+			net.Medium.Faults() == nil,
 	}
 	for i, n := range net.Nodes {
 		st := n.Battery().Snapshot()

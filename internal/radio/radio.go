@@ -47,6 +47,30 @@ type Receiver interface {
 	Deliver(pkt Packet, dist float64)
 }
 
+// FaultDecision is the fate a FaultInjector assigns to one (frame,
+// receiver) pair. The zero value is "deliver normally".
+type FaultDecision struct {
+	// Drop discards the frame before delivery (the airtime energy is
+	// still charged: the bits were on the air, the payload was lost).
+	Drop bool
+	// Copies is how many extra duplicate deliveries to schedule, modelling
+	// a duplicating channel or link-layer retransmissions.
+	Copies int
+	// Delay is extra latency in seconds added to the delivery (and to any
+	// duplicates), modelling queueing or reordering: a delayed frame can
+	// arrive after frames transmitted later.
+	Delay float64
+}
+
+// FaultInjector decides, per (frame, receiver) pair, whether the chaos
+// layer drops, duplicates or delays the delivery. Implementations must be
+// deterministic functions of their own seeded RNG streams so faulted runs
+// stay exactly reproducible. The medium consults the injector after the
+// collision model: collisions are physics, injected faults come on top.
+type FaultInjector interface {
+	JudgeFrame(from, to NodeID) FaultDecision
+}
+
 // EnergySink receives per-packet energy charges. The node layer implements
 // it on top of the battery model.
 type EnergySink interface {
@@ -120,6 +144,9 @@ type Medium struct {
 	// transmission actually starts. Observers must be read-only.
 	OnTransmit func(pkt Packet)
 
+	// faults, when non-nil, is the chaos layer's per-delivery hook.
+	faults FaultInjector
+
 	// Counters for the experiment harness.
 	sent      uint64
 	delivered uint64
@@ -177,6 +204,16 @@ func (m *Medium) Stats() (sent, delivered, collided, lost, bytes uint64) {
 
 // Deferred reports how many transmissions carrier sense postponed.
 func (m *Medium) Deferred() uint64 { return m.deferred }
+
+// SetFaultInjector installs (or, with nil, removes) the chaos layer's
+// per-delivery fault hook. Runs with an injector installed are still
+// deterministic, but their state is not captured by Snapshot, so chaos
+// campaigns do not support checkpoint resume.
+func (m *Medium) SetFaultInjector(f FaultInjector) { m.faults = f }
+
+// Faults returns the installed fault injector, or nil. The invariant
+// oracle uses it to detect chaos runs and relax loss-sensitive checks.
+func (m *Medium) Faults() FaultInjector { return m.faults }
 
 // InFlight returns the number of pending medium events: deliveries whose
 // airtime has not elapsed plus carrier-sense retries. Zero means the
@@ -333,13 +370,25 @@ func (m *Medium) Broadcast(pkt Packet) {
 		if m.cfg.FixedPower && dist > pkt.Range {
 			return
 		}
+		deliverAt := end
+		copies := 1
+		if m.faults != nil {
+			fd := m.faults.JudgeFrame(pkt.From, NodeID(i))
+			if fd.Drop {
+				return
+			}
+			deliverAt += fd.Delay
+			copies += fd.Copies
+		}
 		p, d := pkt, dist
 		idx := i
-		m.inflight++
-		m.engine.At(end, func() {
-			m.inflight--
-			m.deliver(idx, p, d)
-		})
+		for c := 0; c < copies; c++ {
+			m.inflight++
+			m.engine.At(deliverAt, func() {
+				m.inflight--
+				m.deliver(idx, p, d)
+			})
+		}
 	})
 }
 

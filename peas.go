@@ -37,11 +37,13 @@ package peas
 import (
 	"io"
 
+	"peas/internal/chaos"
 	"peas/internal/checkpoint"
 	"peas/internal/core"
 	"peas/internal/energy"
 	"peas/internal/experiment"
 	"peas/internal/geom"
+	"peas/internal/metrics"
 	"peas/internal/node"
 	"peas/internal/oracle"
 	"peas/internal/radio"
@@ -144,6 +146,42 @@ type ChainVerifyResult = oracle.ChainResult
 // run to reach the direct run's exact final StateHash.
 func VerifyCheckpointChain(cfg RunConfig, every float64) (*ChainVerifyResult, error) {
 	return oracle.VerifyChain(cfg, every)
+}
+
+// ChaosPlan is a scripted fault-injection campaign: a seed plus an event
+// schedule drawn from one fault vocabulary (loss, bursty loss,
+// duplication, reordering, delay, partitions, fail-stop, fail-recover,
+// crash-restart). Attach one to a run via RunConfig.Chaos; same plan +
+// same seed reproduces the same faults at the same instants.
+type ChaosPlan = chaos.Plan
+
+// ChaosEvent is one scripted fault in a ChaosPlan.
+type ChaosEvent = chaos.Event
+
+// FaultClass names one kind of injectable fault.
+type FaultClass = chaos.FaultClass
+
+// FaultCounters is an ordered set of named fault counters; pass one as
+// RunConfig.ChaosCounters to observe per-class fault activity.
+type FaultCounters = metrics.Counters
+
+// NewFaultCounters returns an empty fault counter set.
+func NewFaultCounters() *FaultCounters { return metrics.NewCounters() }
+
+// LoadChaosPlan reads and validates a JSON chaos plan.
+func LoadChaosPlan(path string) (*ChaosPlan, error) { return chaos.Load(path) }
+
+// MixedChaosPlan returns the built-in campaign exercising every fault
+// class within the given horizon. cmd/peas-chaos exposes it as
+// -plan mixed.
+func MixedChaosPlan(horizon float64, seed int64) *ChaosPlan {
+	return chaos.MixedPlan(horizon, seed)
+}
+
+// UnexercisedFaults returns the classes whose completion counter is still
+// zero — a strict chaos campaign fails when any planned class never fired.
+func UnexercisedFaults(classes []FaultClass, c *FaultCounters) []FaultClass {
+	return chaos.Unexercised(classes, c)
 }
 
 // TraceRecorder buffers structured simulation events (state changes,

@@ -77,6 +77,15 @@ func (b *virtualBattery) settle(now float64) {
 	b.lastT = now
 }
 
+// rebase positions the drain clock at protocol time t without settling —
+// a restored node's battery must not be charged for the downtime its
+// clock skipped over.
+func (b *virtualBattery) rebase(t float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastT = t
+}
+
 // remainingAt settles and returns the remaining charge.
 func (b *virtualBattery) remainingAt(now float64) float64 {
 	b.mu.Lock()

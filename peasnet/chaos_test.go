@@ -1,0 +1,174 @@
+package peasnet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"peas/internal/chaos"
+	"peas/internal/core"
+	"peas/internal/geom"
+	"peas/internal/metrics"
+)
+
+// TestInMemoryChaosInjectorCounts drives the transport directly: every
+// judged delivery must be accounted for as delivered, dropped (counted by
+// both the channel counter and Dropped()), or duplicated.
+func TestInMemoryChaosInjectorCounts(t *testing.T) {
+	tr := NewInMemory()
+	defer func() { _ = tr.Close() }()
+
+	counters := metrics.NewCounters()
+	ch := chaos.NewChannel(41, counters)
+	ch.SetLoss(0.3)
+	ch.SetDuplication(0.2)
+	tr.SetFaultInjector(NewChaosInjector(ch, 1))
+
+	var received atomic.Uint64
+	listening := func() bool { return true }
+	recv := func([]byte, float64) { received.Add(1) }
+	origin := geom.Point{}
+	for id := 1; id <= 2; id++ {
+		if err := tr.Register(id, origin, listening, recv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Register(0, origin, listening, func([]byte, float64) {
+		t.Error("sender received its own frame")
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batched with drain barriers: the dispatcher queue holds 1024 frames
+	// and overflows (like a congested radio) under an unthrottled loop.
+	const frames = 2000
+	const batch = 200
+	var want uint64
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < frames; i += batch {
+		for j := 0; j < batch; j++ {
+			if err := tr.Broadcast(0, origin, 10, []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want = uint64(2*(i+batch)) - counters.Get(chaos.CtrDropLoss) + counters.Get(chaos.CtrDup)
+		for received.Load() != want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	drops := counters.Get(chaos.CtrDropLoss)
+	dups := counters.Get(chaos.CtrDup)
+	if got := received.Load(); got != want {
+		t.Errorf("received %d deliveries, want %d (judged %d, drops %d, dups %d)",
+			got, want, 2*frames, drops, dups)
+	}
+	if tr.Dropped() != drops {
+		t.Errorf("transport Dropped() = %d, channel counted %d", tr.Dropped(), drops)
+	}
+	if drops == 0 || dups == 0 {
+		t.Errorf("impairments never fired: drops=%d dups=%d", drops, dups)
+	}
+}
+
+// TestSetLossRateStillWorks covers the legacy knob, now a thin adapter
+// over the shared injector hook.
+func TestSetLossRateStillWorks(t *testing.T) {
+	tr := NewInMemory()
+	defer func() { _ = tr.Close() }()
+	tr.SetLossRate(1) // clamps to 0.999
+
+	var received atomic.Uint64
+	origin := geom.Point{}
+	listening := func() bool { return true }
+	if err := tr.Register(1, origin, listening, func([]byte, float64) { received.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tr.Broadcast(0, origin, 10, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := tr.Dropped(); d < 450 {
+		t.Errorf("Dropped() = %d of 500 at 99.9%% loss", d)
+	}
+	tr.SetLossRate(0)
+	before := tr.Dropped()
+	for i := 0; i < 100; i++ {
+		if err := tr.Broadcast(0, origin, 10, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Dropped() != before {
+		t.Error("drops continued after SetLossRate(0)")
+	}
+}
+
+// TestClusterCrashRestartResumesFromCheckpoint is the live half of the
+// crash-restart fault class: a supervised working node is crashed, sits
+// out a downtime, and must come back running its pre-crash protocol state
+// rather than rebooting from scratch.
+func TestClusterCrashRestartResumesFromCheckpoint(t *testing.T) {
+	cfg := ClusterConfig{
+		Field:     geom.NewField(6, 6),
+		N:         8,
+		Protocol:  clusterProtocol(),
+		TimeScale: 200,
+		Seed:      13,
+	}
+	c, err := NewCluster(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	stopSup := c.Supervise(100 * time.Millisecond)
+	defer stopSup()
+	c.Start()
+	if !c.AwaitStable(300*time.Millisecond, 10*time.Second) {
+		t.Fatal("working set never stabilized")
+	}
+
+	victim := -1
+	for _, n := range c.Nodes {
+		if n.State() == core.Working {
+			victim = n.ID()
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no working node to crash")
+	}
+	pre := c.Nodes[victim].Stats()
+	if c.LastCheckpoint(victim) == nil {
+		t.Fatal("supervisor took no checkpoint before the crash")
+	}
+
+	if err := c.CrashRestart(victim, 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted := c.Nodes[victim]
+	// A fresh boot would start Sleeping with zeroed counters; a checkpoint
+	// resume carries the working state and cumulative stats across. The
+	// restored state lands on the node's event loop, so poll briefly.
+	resumeBy := time.Now().Add(5 * time.Second)
+	for restarted.State() != core.Working && time.Now().Before(resumeBy) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := restarted.State(); st != core.Working {
+		t.Errorf("restarted node state = %v, want Working (fresh boot instead of resume?)", st)
+	}
+	post := restarted.Stats()
+	if post.Wakeups < pre.Wakeups || post.ProbesSent < pre.ProbesSent {
+		t.Errorf("stats went backwards across restart: pre=%+v post=%+v", pre, post)
+	}
+
+	// The cluster keeps functioning around the restarted node.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.WorkingCount() > 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Error("no working nodes after crash-restart")
+}

@@ -2,8 +2,10 @@ package peasnet
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"peas/internal/checkpoint"
 	"peas/internal/core"
 	"peas/internal/geom"
 	"peas/internal/stats"
@@ -30,10 +32,25 @@ type ClusterConfig struct {
 }
 
 // Cluster manages a set of live nodes over one transport.
+//
+// Nodes is exported for read access; while Supervise, Crash or Restart
+// are in use, go through the Cluster methods (which lock) instead of
+// iterating Nodes directly — Restart replaces slice elements.
 type Cluster struct {
 	Nodes     []*Node
 	transport Transport
 	ownsTrans bool
+
+	mu    sync.Mutex
+	ckpts map[int]*checkpoint.LiveNode // latest supervised per-node checkpoints
+}
+
+// nodes returns a consistent copy of the node slice for lock-free
+// iteration.
+func (c *Cluster) nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Node(nil), c.Nodes...)
 }
 
 // NewCluster deploys cfg.N live nodes on the given transport. If
@@ -56,7 +73,12 @@ func NewCluster(cfg ClusterConfig, transport Transport) (*Cluster, error) {
 		return nil, fmt.Errorf("peasnet: %d positions for %d nodes", len(positions), cfg.N)
 	}
 
-	c := &Cluster{transport: transport, ownsTrans: owns, Nodes: make([]*Node, 0, cfg.N)}
+	c := &Cluster{
+		transport: transport,
+		ownsTrans: owns,
+		Nodes:     make([]*Node, 0, cfg.N),
+		ckpts:     make(map[int]*checkpoint.LiveNode),
+	}
 	for i := 0; i < cfg.N; i++ {
 		n, err := NewNode(Config{
 			ID:        i,
@@ -78,14 +100,14 @@ func NewCluster(cfg ClusterConfig, transport Transport) (*Cluster, error) {
 
 // Start boots every node.
 func (c *Cluster) Start() {
-	for _, n := range c.Nodes {
+	for _, n := range c.nodes() {
 		n.Start()
 	}
 }
 
 // Stop shuts every node down and closes an owned transport.
 func (c *Cluster) Stop() {
-	for _, n := range c.Nodes {
+	for _, n := range c.nodes() {
 		n.Stop()
 	}
 	if c.ownsTrans {
@@ -96,7 +118,7 @@ func (c *Cluster) Stop() {
 // WorkingCount returns how many nodes are currently in Working mode.
 func (c *Cluster) WorkingCount() int {
 	count := 0
-	for _, n := range c.Nodes {
+	for _, n := range c.nodes() {
 		if n.State() == core.Working {
 			count++
 		}
@@ -107,7 +129,7 @@ func (c *Cluster) WorkingCount() int {
 // WorkingPositions returns the positions of the working nodes.
 func (c *Cluster) WorkingPositions() []geom.Point {
 	var pts []geom.Point
-	for _, n := range c.Nodes {
+	for _, n := range c.nodes() {
 		if n.State() == core.Working {
 			pts = append(pts, n.Pos())
 		}
@@ -118,7 +140,7 @@ func (c *Cluster) WorkingPositions() []geom.Point {
 // StateCounts returns how many nodes are currently in each mode.
 func (c *Cluster) StateCounts() map[core.State]int {
 	counts := make(map[core.State]int, 4)
-	for _, n := range c.Nodes {
+	for _, n := range c.nodes() {
 		counts[n.State()]++
 	}
 	return counts
@@ -129,7 +151,7 @@ func (c *Cluster) StateCounts() map[core.State]int {
 // running.
 func (c *Cluster) TotalStats() core.Stats {
 	var total core.Stats
-	for _, n := range c.Nodes {
+	for _, n := range c.nodes() {
 		s := n.Stats()
 		total.Wakeups += s.Wakeups
 		total.ProbesSent += s.ProbesSent
@@ -146,20 +168,47 @@ func (c *Cluster) TotalStats() core.Stats {
 
 // AwaitStable polls until the working set stays unchanged for the given
 // settle duration (real time), or until timeout. It reports whether the
-// set settled.
+// set settled. The deadline uses Go's monotonic clock (a wall-clock step
+// cannot extend or cut the wait), and instead of spinning at a fixed
+// short period the poll interval backs off exponentially while nothing
+// changes — re-tightening on churn — with jitter so concurrent waiters
+// do not poll in lockstep.
 func (c *Cluster) AwaitStable(settle, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	start := time.Now() // monotonic reading; all arithmetic below stays monotonic
+	deadline := start.Add(timeout)
+	jitterRNG := stats.NewRNG(start.UnixNano())
+
+	const minPoll = 2 * time.Millisecond
+	maxPoll := settle / 4
+	if maxPoll < minPoll {
+		maxPoll = minPoll
+	}
+	if maxPoll > 100*time.Millisecond {
+		maxPoll = 100 * time.Millisecond
+	}
+
 	last := -1
-	stableSince := time.Now()
+	stableSince := start
+	interval := minPoll
 	for time.Now().Before(deadline) {
 		cur := c.WorkingCount()
 		if cur != last {
 			last = cur
 			stableSince = time.Now()
+			interval = minPoll
 		} else if cur > 0 && time.Since(stableSince) >= settle {
 			return true
 		}
-		time.Sleep(10 * time.Millisecond)
+		sleep := interval + time.Duration(jitterRNG.Uniform(-0.25, 0.25)*float64(interval))
+		if until := time.Until(deadline); sleep > until {
+			sleep = until
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if interval *= 2; interval > maxPoll {
+			interval = maxPoll
+		}
 	}
 	return false
 }

@@ -1,0 +1,120 @@
+package peasnet
+
+import (
+	"sync"
+	"time"
+
+	"peas/internal/chaos"
+	"peas/internal/stats"
+)
+
+// FaultDecision is the fate an injector assigns to one (frame, receiver)
+// delivery on a live transport. The zero value delivers normally.
+type FaultDecision struct {
+	// Drop discards the delivery.
+	Drop bool
+	// Copies is how many extra duplicate deliveries to make.
+	Copies int
+	// Delay is extra real-time latency before the delivery (and any
+	// duplicates) reaches the receiver.
+	Delay time.Duration
+}
+
+// FaultInjector is the live runtime's shared fault hook, consulted once
+// per (frame, receiver) pair on the sender's broadcast path — the
+// counterpart of radio.FaultInjector in the simulator. Implementations
+// must be safe for concurrent use: live nodes broadcast from independent
+// goroutines.
+type FaultInjector interface {
+	JudgeFrame(from, to int) FaultDecision
+}
+
+// FaultTransport is implemented by transports that accept an injector.
+// Both InMemory and UDPGroup do.
+type FaultTransport interface {
+	SetFaultInjector(f FaultInjector)
+}
+
+// Unregisterer is an optional Transport extension: transports that
+// support node churn implement it so a crashed node's endpoint can be
+// torn down and its id re-registered on restart.
+type Unregisterer interface {
+	Unregister(id int)
+}
+
+// ChaosInjector adapts the substrate-independent chaos.Channel to live
+// transports: it serializes access to the single-threaded channel and
+// scales the channel's protocol-time delays down to real time by the
+// cluster's time-compression factor.
+type ChaosInjector struct {
+	mu    sync.Mutex
+	ch    *chaos.Channel
+	scale float64
+}
+
+var _ FaultInjector = (*ChaosInjector)(nil)
+
+// NewChaosInjector wraps ch. timeScale is the cluster's protocol-seconds
+// per wall-clock second (Config.TimeScale; values <= 0 mean 1).
+func NewChaosInjector(ch *chaos.Channel, timeScale float64) *ChaosInjector {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &ChaosInjector{ch: ch, scale: timeScale}
+}
+
+// JudgeFrame implements FaultInjector.
+func (ci *ChaosInjector) JudgeFrame(from, to int) FaultDecision {
+	ci.mu.Lock()
+	d := ci.ch.JudgeFrame(from, to)
+	ci.mu.Unlock()
+	return FaultDecision{
+		Drop:   d.Drop,
+		Copies: d.Copies,
+		Delay:  time.Duration(d.Delay / ci.scale * float64(time.Second)),
+	}
+}
+
+// With runs fn with exclusive access to the underlying channel — the
+// safe way to reconfigure impairments or read counters while the
+// cluster runs.
+func (ci *ChaosInjector) With(fn func(ch *chaos.Channel)) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	fn(ci.ch)
+}
+
+// lossInjector is the i.i.d. loss fault SetLossRate adapts to.
+type lossInjector struct {
+	mu  sync.Mutex
+	rng *stats.RNG
+	p   float64
+}
+
+func newLossInjector(seed int64) *lossInjector {
+	return &lossInjector{rng: stats.NewRNG(seed)}
+}
+
+// setRate keeps SetLossRate's historical clamping: negative rates
+// disable, rates at or above 1 saturate at 0.999 so the network stays
+// technically connected.
+func (l *lossInjector) setRate(p float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 0.999
+	}
+	l.p = p
+}
+
+func (l *lossInjector) JudgeFrame(from, to int) FaultDecision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.p > 0 && l.rng.Float64() < l.p {
+		return FaultDecision{Drop: true}
+	}
+	return FaultDecision{}
+}

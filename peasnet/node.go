@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"peas/internal/checkpoint"
 	"peas/internal/core"
 	"peas/internal/geom"
 	"peas/internal/stats"
@@ -46,6 +47,13 @@ type Node struct {
 	rng       *stats.RNG
 	scale     float64
 	started   time.Time
+	// base offsets the protocol clock: a restored node resumes at its
+	// checkpoint's recorded time, so the downtime never existed on the
+	// node's own clock. Zero for fresh nodes.
+	base float64
+	// resume, when non-nil, makes Start restore this checkpoint instead
+	// of booting the protocol fresh. Set by RestoreNode.
+	resume *checkpoint.LiveNode
 
 	listening atomic.Bool
 	state     atomic.Int32
@@ -141,7 +149,85 @@ func (n *Node) Start() {
 	n.started = time.Now()
 	n.mu.Unlock()
 	go n.loop()
+	if st := n.resume; st != nil {
+		n.post(func() {
+			n.proto.RestoreState(st.Proto)
+			// Re-apply the restored mode's side effects (radio power,
+			// battery mode, observers) that RestoreState bypasses, then
+			// re-arm the captured pending timers; deadlines are on the
+			// node's own clock, which resumed right at the checkpoint.
+			n.SetState(st.Proto.State)
+			n.proto.ResumeTimers(st.Proto.Timers)
+		})
+		return
+	}
 	n.post(func() { n.proto.Start() })
+}
+
+// Checkpoint captures the node's live state — protocol clock, RNG
+// stream, remaining battery, protocol state with pending timers — on its
+// event loop, so the capture is internally consistent while the rest of
+// the cluster keeps running. It fails on a node that is not running.
+func (n *Node) Checkpoint() (*checkpoint.LiveNode, error) {
+	n.mu.Lock()
+	ok := n.running && !n.stopped
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("peasnet: node %d is not running", n.cfg.ID)
+	}
+	ch := make(chan *checkpoint.LiveNode, 1)
+	n.post(func() {
+		now := n.Now()
+		st := &checkpoint.LiveNode{
+			ID:            n.cfg.ID,
+			ProtoTime:     now,
+			RNG:           n.rng.State(),
+			BatteryJoules: -1,
+			Proto:         n.proto.Snapshot(),
+		}
+		if n.battery != nil {
+			st.BatteryJoules = n.battery.remainingAt(now)
+		}
+		ch <- st
+	})
+	select {
+	case st := <-ch:
+		return st, nil
+	case <-n.done:
+		return nil, fmt.Errorf("peasnet: node %d stopped during checkpoint", n.cfg.ID)
+	}
+}
+
+// RestoreNode creates a node that will, on Start, resume the captured
+// checkpoint instead of booting fresh: the protocol clock continues from
+// the snapshot's recorded time, the RNG stream picks up where it left
+// off, the battery holds the recorded charge, and the pending timers
+// re-arm. The checkpoint's ID overrides cfg.ID; the id must be free on
+// the transport (Unregister the crashed node first).
+func RestoreNode(cfg Config, transport Transport, st *checkpoint.LiveNode) (*Node, error) {
+	if st == nil {
+		return nil, fmt.Errorf("peasnet: nil checkpoint")
+	}
+	if st.Proto.State == core.Dead {
+		return nil, fmt.Errorf("peasnet: node %d checkpoint is of a dead node", st.ID)
+	}
+	cfg.ID = st.ID
+	if cfg.Battery != nil && st.BatteryJoules >= 0 {
+		b := *cfg.Battery
+		b.Joules = st.BatteryJoules
+		cfg.Battery = &b
+	}
+	n, err := NewNode(cfg, transport)
+	if err != nil {
+		return nil, err
+	}
+	n.base = st.ProtoTime
+	if n.battery != nil {
+		n.battery.rebase(st.ProtoTime)
+	}
+	n.rng.Restore(st.RNG)
+	n.resume = st
+	return n, nil
 }
 
 // Stop shuts the node down: pending timers are cancelled and the event
@@ -215,9 +301,10 @@ func (n *Node) post(fn func()) {
 
 // --- core.Platform implementation (called from the event loop) ---
 
-// Now returns protocol time: scaled seconds since Start.
+// Now returns protocol time: scaled seconds since Start, offset by the
+// restored checkpoint time for resumed nodes.
 func (n *Node) Now() float64 {
-	return time.Since(n.started).Seconds() * n.scale
+	return n.base + time.Since(n.started).Seconds()*n.scale
 }
 
 // After schedules fn on the event loop after d protocol seconds. Pending

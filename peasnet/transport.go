@@ -3,9 +3,9 @@ package peasnet
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"peas/internal/geom"
-	"peas/internal/stats"
 )
 
 // Receiver is the callback a node registers to receive frames. dist is
@@ -37,15 +37,14 @@ type memberEntry struct {
 // one process. Deliveries run on a dedicated dispatcher goroutine so
 // Broadcast never blocks the caller's event loop.
 type InMemory struct {
-	mu       sync.Mutex
-	members  map[int]*memberEntry
-	queue    chan delivery
-	stop     chan struct{}
-	done     chan struct{}
-	closed   bool
-	lossRate float64
-	lossRNG  *stats.RNG
-	dropped  uint64
+	mu      sync.Mutex
+	members map[int]*memberEntry
+	queue   chan delivery
+	stop    chan struct{}
+	done    chan struct{}
+	closed  bool
+	faults  FaultInjector
+	dropped uint64
 }
 
 type delivery struct {
@@ -54,7 +53,11 @@ type delivery struct {
 	dist  float64
 }
 
-var _ Transport = (*InMemory)(nil)
+var (
+	_ Transport      = (*InMemory)(nil)
+	_ FaultTransport = (*InMemory)(nil)
+	_ Unregisterer   = (*InMemory)(nil)
+)
 
 // NewInMemory returns a running in-memory transport. Close it to stop
 // the dispatcher goroutine.
@@ -65,31 +68,39 @@ func NewInMemory() *InMemory {
 		// without blocking transmitting nodes; 1024 frames is far above
 		// any steady-state depth for the network sizes the live runtime
 		// targets, and Broadcast drops (like a real radio) when full.
-		queue:   make(chan delivery, 1024),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		lossRNG: stats.NewRNG(1),
+		queue: make(chan delivery, 1024),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 	go t.dispatch()
 	return t
 }
 
+// SetFaultInjector installs (or, with nil, removes) the fault hook
+// consulted per (frame, receiver) delivery. It may be changed while the
+// network runs.
+func (t *InMemory) SetFaultInjector(f FaultInjector) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.faults = f
+}
+
 // SetLossRate makes the transport drop each delivery independently with
-// probability p, emulating a lossy channel (§4). It may be changed while
-// the network runs.
+// probability p, emulating a lossy channel (§4). It is a thin adapter
+// over SetFaultInjector and replaces any other installed injector; it
+// may be changed while the network runs.
 func (t *InMemory) SetLossRate(p float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if p < 0 {
-		p = 0
+	li, ok := t.faults.(*lossInjector)
+	if !ok {
+		li = newLossInjector(1)
+		t.faults = li
 	}
-	if p >= 1 {
-		p = 0.999
-	}
-	t.lossRate = p
+	li.setRate(p)
 }
 
-// Dropped returns how many deliveries the loss model discarded.
+// Dropped returns how many deliveries the fault injector discarded.
 func (t *InMemory) Dropped() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -122,7 +133,10 @@ func (t *InMemory) Register(id int, pos geom.Point, listening func() bool, recv 
 	return nil
 }
 
-// Broadcast implements Transport.
+// Broadcast implements Transport. The fault injector is consulted once
+// per in-range listening receiver; dropped deliveries count toward
+// Dropped, duplicated ones enqueue extra copies, delayed ones are
+// re-enqueued from a timer.
 func (t *InMemory) Broadcast(from int, pos geom.Point, radius float64, frame []byte) error {
 	t.mu.Lock()
 	if t.closed {
@@ -130,37 +144,63 @@ func (t *InMemory) Broadcast(from int, pos geom.Point, radius float64, frame []b
 		return fmt.Errorf("peasnet: transport closed")
 	}
 	type target struct {
-		recv Receiver
-		dist float64
+		recv   Receiver
+		dist   float64
+		copies int
+		delay  time.Duration
 	}
 	targets := make([]target, 0, 8)
 	for id, m := range t.members {
 		if id == from {
 			continue
 		}
-		if t.lossRate > 0 && t.lossRNG.Float64() < t.lossRate {
+		d := pos.Dist(m.pos)
+		if d > radius || !m.listening() {
+			continue
+		}
+		var fd FaultDecision
+		if t.faults != nil {
+			fd = t.faults.JudgeFrame(from, id)
+		}
+		if fd.Drop {
 			t.dropped++
 			continue
 		}
-		d := pos.Dist(m.pos)
-		if d <= radius && m.listening() {
-			targets = append(targets, target{recv: m.recv, dist: d})
-		}
+		targets = append(targets, target{recv: m.recv, dist: d, copies: 1 + fd.Copies, delay: fd.Delay})
 	}
 	t.mu.Unlock()
 
 	cp := append([]byte(nil), frame...)
 	for _, tg := range targets {
-		select {
-		case t.queue <- delivery{recv: tg.recv, frame: cp, dist: tg.dist}:
-		case <-t.stop:
-			return nil
-		default:
-			// Queue overflow: drop the frame, as a congested radio
-			// channel would.
+		d := delivery{recv: tg.recv, frame: cp, dist: tg.dist}
+		for c := 0; c < tg.copies; c++ {
+			if tg.delay > 0 {
+				time.AfterFunc(tg.delay, func() { t.enqueue(d) })
+			} else {
+				t.enqueue(d)
+			}
 		}
 	}
 	return nil
+}
+
+// enqueue hands a delivery to the dispatcher without ever blocking:
+// overflow drops the frame, as a congested radio channel would, and a
+// closed transport swallows it.
+func (t *InMemory) enqueue(d delivery) {
+	select {
+	case t.queue <- d:
+	case <-t.stop:
+	default:
+	}
+}
+
+// Unregister removes node id from the transport, freeing the id for a
+// later Register — the crash half of a crash-restart.
+func (t *InMemory) Unregister(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.members, id)
 }
 
 // Close implements Transport.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"peas/internal/core"
 	"peas/internal/geom"
@@ -22,7 +23,8 @@ type UDPGroup struct {
 	peers   map[int]*udpPeer
 	closed  bool
 	wg      sync.WaitGroup
-	dropper func() bool // test hook: non-nil => drop frames when true
+	faults  FaultInjector
+	dropped uint64
 }
 
 type udpPeer struct {
@@ -33,7 +35,11 @@ type udpPeer struct {
 	recv      Receiver
 }
 
-var _ Transport = (*UDPGroup)(nil)
+var (
+	_ Transport      = (*UDPGroup)(nil)
+	_ FaultTransport = (*UDPGroup)(nil)
+	_ Unregisterer   = (*UDPGroup)(nil)
+)
 
 // NewUDPGroup returns an empty group; nodes join via Register.
 func NewUDPGroup() *UDPGroup {
@@ -102,38 +108,92 @@ func (g *UDPGroup) read(p *udpPeer) {
 	}
 }
 
-// Broadcast implements Transport: one datagram per in-range peer.
+// SetFaultInjector installs (or, with nil, removes) the fault hook
+// consulted per (frame, receiver) datagram. It may be changed while the
+// group runs.
+func (g *UDPGroup) SetFaultInjector(f FaultInjector) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.faults = f
+}
+
+// Dropped returns how many datagrams the fault injector discarded.
+func (g *UDPGroup) Dropped() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.dropped
+}
+
+// Unregister closes node id's socket (its reader exits) and removes the
+// peer, freeing the id for a later Register — the crash half of a
+// crash-restart.
+func (g *UDPGroup) Unregister(id int) {
+	g.mu.Lock()
+	p, ok := g.peers[id]
+	if ok {
+		delete(g.peers, id)
+	}
+	g.mu.Unlock()
+	if ok {
+		_ = p.conn.Close()
+	}
+}
+
+// Broadcast implements Transport: one datagram per in-range peer. The
+// fault injector is consulted per (frame, receiver): drops suppress the
+// datagram, duplicates send extras, delays defer the write to a timer.
 func (g *UDPGroup) Broadcast(from int, pos geom.Point, radius float64, frame []byte) error {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
 		return fmt.Errorf("peasnet: udp group closed")
 	}
-	if g.dropper != nil && g.dropper() {
-		g.mu.Unlock()
-		return nil
-	}
 	sender, ok := g.peers[from]
 	if !ok {
 		g.mu.Unlock()
 		return fmt.Errorf("peasnet: unknown sender %d", from)
 	}
-	targets := make([]*udpPeer, 0, 8)
+	type target struct {
+		addr   *net.UDPAddr
+		copies int
+		delay  time.Duration
+	}
+	targets := make([]target, 0, 8)
 	for id, p := range g.peers {
 		if id == from {
 			continue
 		}
-		if pos.Dist(p.pos) <= radius {
-			targets = append(targets, p)
+		if pos.Dist(p.pos) > radius {
+			continue
 		}
+		var fd FaultDecision
+		if g.faults != nil {
+			fd = g.faults.JudgeFrame(from, id)
+		}
+		if fd.Drop {
+			g.dropped++
+			continue
+		}
+		targets = append(targets, target{addr: p.addr, copies: 1 + fd.Copies, delay: fd.Delay})
 	}
 	g.mu.Unlock()
 
-	for _, p := range targets {
-		if _, err := sender.conn.WriteToUDP(frame, p.addr); err != nil {
-			// Best effort, like a radio: receivers that went away just
-			// miss the frame.
-			continue
+	conn := sender.conn
+	for _, tg := range targets {
+		for c := 0; c < tg.copies; c++ {
+			if tg.delay > 0 {
+				addr := tg.addr
+				// Best effort: by the time the timer fires the sender's
+				// socket may be closed; the frame is just lost, like a
+				// radio's would be.
+				time.AfterFunc(tg.delay, func() { _, _ = conn.WriteToUDP(frame, addr) })
+				continue
+			}
+			if _, err := conn.WriteToUDP(frame, tg.addr); err != nil {
+				// Best effort, like a radio: receivers that went away just
+				// miss the frame.
+				continue
+			}
 		}
 	}
 	return nil
