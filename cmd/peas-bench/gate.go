@@ -2,23 +2,27 @@ package main
 
 // Benchmark regression gate.
 //
-// CI cannot gate on wall time — shared runners are too noisy for a 25%
-// threshold to mean anything — so the primary regression metrics are the
-// deterministic work counters of a fixed scenario set: engine events
-// executed, packets broadcast and protocol wakeups. Those are pure
-// functions of (config, seed); a change that makes the simulator do more
-// work (timer churn, retransmission storms, extra sweeps) moves them
-// reproducibly on every machine. Wall time is still measured and reported,
-// but only advisorily.
+// The primary regression metrics are deterministic quantities of a fixed
+// scenario set: the work counters (engine events executed, packets
+// broadcast, protocol wakeups) and the allocation rate (heap objects
+// allocated per executed event). All are pure functions of (config, seed)
+// — the simulator is single-threaded, so even the allocation count is
+// exactly reproducible — which lets the gate hold allocs/event to a zero
+// regression budget. Wall time is noisier: it is gated with its own, wider
+// tolerance (and CI relaxes it further for shared runners; see
+// .github/workflows/ci.yml), so the hard signal comes from the
+// deterministic metrics.
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	"peas"
+	"peas/internal/perf"
 )
 
 type gateMetrics struct {
@@ -26,7 +30,12 @@ type gateMetrics struct {
 	Events  uint64 `json:"events"`
 	Packets uint64 `json:"packets"`
 	Wakeups uint64 `json:"wakeups"`
-	// WallNS is advisory only (never fails the gate).
+	// Allocs is the number of heap objects allocated during the run
+	// (network construction included); AllocsPerEvent divides it by Events.
+	// Both are deterministic and gated at -allocs-tolerance (default 0).
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// WallNS is gated at -wall-tolerance, separately from the counters.
 	WallNS int64 `json:"wall_ns"`
 }
 
@@ -76,33 +85,74 @@ func measureGate(quick bool) (*gateBaseline, error) {
 		mode = "quick"
 	}
 	out := &gateBaseline{Mode: mode, Scenarios: map[string]gateMetrics{}}
+	// Each scenario runs gateRepeats times: wall time and allocation count
+	// are taken as the minimum across repeats (the noise floor — scheduler
+	// preemption and lazy runtime initialization only ever add), while the
+	// work counters must be bit-identical on every repeat, which doubles as
+	// a free determinism check.
+	const gateRepeats = 3
 	for _, sc := range gateScenarios(quick) {
-		cfg := sc.cfg
-		var net *peas.Network
-		cfg.OnNetwork = func(n *peas.Network) { net = n }
-		start := time.Now()
-		res, err := peas.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s: %w", sc.name, err)
+		var m gateMetrics
+		for rep := 0; rep < gateRepeats; rep++ {
+			cfg := sc.cfg
+			var net *peas.Network
+			cfg.OnNetwork = func(n *peas.Network) { net = n }
+			var meter perf.AllocMeter
+			meter.Start()
+			start := time.Now()
+			res, err := peas.Run(cfg)
+			wall := time.Since(start).Nanoseconds()
+			allocs := meter.Allocs()
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.name, err)
+			}
+			cur := gateMetrics{
+				Events:  net.Engine.Executed(),
+				Packets: res.PacketsSent,
+				Wakeups: res.Wakeups,
+			}
+			if rep == 0 {
+				m = cur
+				m.Allocs = allocs
+				m.WallNS = wall
+			} else {
+				if cur != (gateMetrics{Events: m.Events, Packets: m.Packets, Wakeups: m.Wakeups}) {
+					return nil, fmt.Errorf("scenario %s is non-deterministic: repeat %d counted (%d, %d, %d), first run (%d, %d, %d)",
+						sc.name, rep, cur.Events, cur.Packets, cur.Wakeups, m.Events, m.Packets, m.Wakeups)
+				}
+				if allocs < m.Allocs {
+					m.Allocs = allocs
+				}
+				if wall < m.WallNS {
+					m.WallNS = wall
+				}
+			}
+			// Settle pooled garbage before the next measurement so its
+			// allocation count starts clean.
+			runtime.GC()
 		}
-		m := gateMetrics{
-			Events:  net.Engine.Executed(),
-			Packets: res.PacketsSent,
-			Wakeups: res.Wakeups,
-			WallNS:  time.Since(start).Nanoseconds(),
+		if m.Events > 0 {
+			m.AllocsPerEvent = float64(m.Allocs) / float64(m.Events)
 		}
 		out.Scenarios[sc.name] = m
-		fmt.Printf("%-14s events=%-9d packets=%-8d wakeups=%-7d wall=%s\n",
-			sc.name, m.Events, m.Packets, m.Wakeups,
+		fmt.Printf("%-14s events=%-9d packets=%-8d wakeups=%-7d allocs/event=%-7.3f wall=%s\n",
+			sc.name, m.Events, m.Packets, m.Wakeups, m.AllocsPerEvent,
 			time.Duration(m.WallNS).Round(time.Millisecond))
 	}
 	return out, nil
 }
 
+// gateTolerances bundles the per-metric regression budgets.
+type gateTolerances struct {
+	counters float64 // events/packets/wakeups
+	allocs   float64 // allocs-per-event (0 = any increase fails)
+	wall     float64 // wall time (negative = advisory only)
+}
+
 // runGate measures the scenario set and either writes the baseline file
-// (write=true) or compares against it, returning an error if any
-// deterministic counter regressed by more than tolerance.
-func runGate(path string, tolerance float64, write, quick bool) error {
+// (write=true) or compares against it, returning an error if any gated
+// metric regressed beyond its tolerance.
+func runGate(path string, tol gateTolerances, write, quick bool) error {
 	current, err := measureGate(quick)
 	if err != nil {
 		return err
@@ -145,28 +195,36 @@ func runGate(path string, tolerance float64, write, quick bool) error {
 		if !ok {
 			return fmt.Errorf("scenario %s is in the baseline but no longer measured; regenerate with -write-baseline", name)
 		}
-		check := func(metric string, baseV, curV uint64) {
+		check := func(metric string, baseV, curV, tolerance float64) {
 			if baseV == 0 {
-				return
+				return // metric absent from an older baseline
 			}
-			ratio := float64(curV) / float64(baseV)
+			ratio := curV / baseV
 			switch {
 			case ratio > 1+tolerance:
 				regressions = append(regressions, fmt.Sprintf(
-					"%s %s: %d -> %d (%+.1f%%, limit %+.0f%%)",
+					"%s %s: %g -> %g (%+.1f%%, limit %+.0f%%)",
 					name, metric, baseV, curV, 100*(ratio-1), 100*tolerance))
-			case ratio < 1-tolerance:
-				fmt.Printf("note: %s %s improved %d -> %d (%.1f%%); consider refreshing the baseline\n",
+			case ratio < 1-tolerance && tolerance > 0:
+				fmt.Printf("note: %s %s improved %g -> %g (%.1f%%); consider refreshing the baseline\n",
 					name, metric, baseV, curV, 100*(ratio-1))
 			}
 		}
-		check("events", b.Events, c.Events)
-		check("packets", b.Packets, c.Packets)
-		check("wakeups", b.Wakeups, c.Wakeups)
+		check("events", float64(b.Events), float64(c.Events), tol.counters)
+		check("packets", float64(b.Packets), float64(c.Packets), tol.counters)
+		check("wakeups", float64(b.Wakeups), float64(c.Wakeups), tol.counters)
+		check("allocs/event", b.AllocsPerEvent, c.AllocsPerEvent, tol.allocs)
 		if b.WallNS > 0 {
-			wall := float64(c.WallNS) / float64(b.WallNS)
-			if wall > 1+tolerance {
-				fmt.Printf("note: %s wall time %.2fx baseline (advisory only, not gated)\n", name, wall)
+			ratio := float64(c.WallNS) / float64(b.WallNS)
+			if tol.wall < 0 {
+				if ratio > 1.10 {
+					fmt.Printf("note: %s wall time %.2fx baseline (advisory only)\n", name, ratio)
+				}
+			} else if ratio > 1+tol.wall {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s wall time: %s -> %s (%.2fx, limit %+.0f%%)",
+					name, time.Duration(b.WallNS).Round(time.Millisecond),
+					time.Duration(c.WallNS).Round(time.Millisecond), ratio, 100*tol.wall))
 			}
 		}
 	}
@@ -179,8 +237,9 @@ func runGate(path string, tolerance float64, write, quick bool) error {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 		}
-		return fmt.Errorf("%d benchmark counter(s) regressed beyond %.0f%%", len(regressions), 100*tolerance)
+		return fmt.Errorf("%d benchmark metric(s) regressed beyond tolerance", len(regressions))
 	}
-	fmt.Printf("bench gate: OK (%d scenarios within %.0f%% of %s)\n", len(names), 100*tolerance, path)
+	fmt.Printf("bench gate: OK (%d scenarios vs %s; counters within %.0f%%, allocs/event within %.0f%%, wall within %.0f%%)\n",
+		len(names), path, 100*tol.counters, 100*tol.allocs, 100*tol.wall)
 	return nil
 }

@@ -8,12 +8,17 @@
 //	peas-bench -runs 1 -quick   # fast pass (1 run/point, coarser sweeps)
 //
 // Regression gate (used by CI): runs a fixed deterministic scenario set
-// and compares work counters (engine events, packets, wakeups) against a
-// committed baseline, failing on regressions beyond -tolerance. Wall time
-// is reported but advisory.
+// and compares work counters (engine events, packets, wakeups), the
+// allocation rate (heap objects per executed event, gated at
+// -allocs-tolerance, default 0: any increase fails) and wall time (gated
+// at -wall-tolerance, default 10%; negative makes it advisory) against a
+// committed baseline.
 //
 //	peas-bench -quick -baseline BENCH_baseline.json -write-baseline
 //	peas-bench -quick -baseline BENCH_baseline.json -tolerance 0.25
+//
+// Profiling: -cpuprofile and -memprofile write pprof profiles covering
+// the whole invocation (gate or experiments); see DESIGN.md §9.
 //
 // Experiments: fig9 fig10 fig11 table1 fig12 fig13 fig14 estimator
 // connectivity gaps loss turnoff distribution fixedpower rpsweep boot
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"peas"
+	"peas/internal/perf"
 )
 
 func main() {
@@ -47,13 +53,38 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "concurrent simulations in sweeps (0 = all CPUs)")
 
 		baseline  = flag.String("baseline", "", "regression-gate mode: baseline JSON to compare against (or write with -write-baseline)")
-		tolerance = flag.Float64("tolerance", 0.25, "maximum allowed relative regression of a gate counter")
+		tolerance = flag.Float64("tolerance", 0.25, "maximum allowed relative regression of a gate work counter")
+		allocsTol = flag.Float64("allocs-tolerance", 0, "maximum allowed relative regression of allocs per event (0 = any increase fails)")
+		wallTol   = flag.Float64("wall-tolerance", 0.10, "maximum allowed relative wall-time regression (negative = advisory only)")
 		writeBase = flag.Bool("write-baseline", false, "measure the gate scenarios and write -baseline instead of comparing")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		stop, err := perf.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "peas-bench:", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := perf.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "peas-bench:", err)
+			}
+		}()
+	}
+
 	if *baseline != "" {
-		return runGate(*baseline, *tolerance, *writeBase, *quick)
+		tol := gateTolerances{counters: *tolerance, allocs: *allocsTol, wall: *wallTol}
+		return runGate(*baseline, tol, *writeBase, *quick)
 	}
 
 	emit := func(t *peas.Table) error {

@@ -80,12 +80,22 @@ type Protocol struct {
 	stateSince   float64
 	gen          uint64 // invalidates stale After callbacks
 	lambda       float64
-	estimator    *RateEstimator
+	estimator    RateEstimator // embedded by value: one fewer object per node
 	workStart    float64
 	heard        []Reply    // REPLYs collected during the current probe window
 	replyPending bool       // a REPLY broadcast is already scheduled
 	timers       []TimerRec // pending timers, serializable for checkpoints
 	stats        Stats
+
+	// argPlatform is non-nil when the platform supports allocation-free
+	// arg scheduling; timers then ride pooled timerEvent records instead
+	// of per-arm closures.
+	argPlatform ArgPlatform
+	freeTimers  *timerEvent
+	// probeBox caches the boxed PROBE payloads (one per sequence number):
+	// a node's PROBE contents never change, so the interface boxing
+	// allocation is paid once instead of on every transmission.
+	probeBox []any
 }
 
 // New returns a Protocol for node id. cfg must have been validated; New
@@ -95,14 +105,16 @@ func New(id NodeID, cfg Config, platform Platform) *Protocol {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Protocol{
+	p := &Protocol{
 		id:        id,
 		cfg:       cfg,
 		platform:  platform,
 		state:     Sleeping,
 		lambda:    cfg.InitialRate,
-		estimator: NewRateEstimator(cfg.EstimatorK),
+		estimator: *NewRateEstimator(cfg.EstimatorK),
 	}
+	p.argPlatform, _ = platform.(ArgPlatform)
+	return p
 }
 
 // ID returns the node identifier.
@@ -186,23 +198,75 @@ func (p *Protocol) enter(s State) {
 	p.platform.SetState(s)
 }
 
+// dispatch performs the protocol action a pending timer record encodes.
+// It is the single Kind->action mapping, shared by live arming and by the
+// checkpoint-restore rebuild.
+func (p *Protocol) dispatch(rec TimerRec) {
+	switch rec.Kind {
+	case TimerWakeup:
+		p.wake()
+	case TimerProbeSend:
+		p.sendProbe(rec.Probe)
+	case TimerProbeEnd:
+		p.endProbe()
+	case TimerReply:
+		p.fireReply()
+	}
+}
+
+// timerEvent is one pooled pending-timer record: the scheduler's argument
+// for the shared runTimer callback. Records recycle through the owning
+// Protocol's free list, so arming a timer allocates nothing.
+type timerEvent struct {
+	p    *Protocol
+	rec  TimerRec
+	gen  uint64
+	next *timerEvent
+}
+
+// runTimer is the shared firing callback for every pooled timer record.
+func runTimer(a any) {
+	t := a.(*timerEvent)
+	p := t.p
+	rec, gen := t.rec, t.gen
+	t.next = p.freeTimers
+	p.freeTimers = t
+	if p.gen == gen && p.state != Dead {
+		p.removeTimer(rec)
+		p.dispatch(rec)
+	}
+}
+
 // scheduleTimer arms the timer described by rec, guarded by the current
 // generation: if the node has transitioned since, the callback does
 // nothing. The record stays in p.timers while the timer is pending, which
 // is what lets a checkpoint capture the node's outstanding schedule as
 // plain data and a restore rebuild it via ResumeTimers.
-func (p *Protocol) scheduleTimer(rec TimerRec, fn func()) {
+func (p *Protocol) scheduleTimer(rec TimerRec) {
 	p.timers = append(p.timers, rec)
 	gen := p.gen
-	wrapped := func() {
-		if p.gen == gen && p.state != Dead {
-			p.removeTimer(rec)
-			fn()
-		}
-	}
 	// Schedule at the absolute recorded deadline when the platform can:
 	// re-arming a restored timer via now+(at-now) would round the deadline
 	// and nudge the resumed trajectory off the original by an ulp.
+	if ap := p.argPlatform; ap != nil {
+		t := p.freeTimers
+		if t != nil {
+			p.freeTimers = t.next
+			t.next = nil
+		} else {
+			t = &timerEvent{p: p}
+		}
+		t.rec = rec
+		t.gen = gen
+		ap.AtArg(rec.At, runTimer, t)
+		return
+	}
+	wrapped := func() {
+		if p.gen == gen && p.state != Dead {
+			p.removeTimer(rec)
+			p.dispatch(rec)
+		}
+	}
 	if ap, ok := p.platform.(AbsolutePlatform); ok {
 		ap.At(rec.At, wrapped)
 		return
@@ -210,12 +274,12 @@ func (p *Protocol) scheduleTimer(rec TimerRec, fn func()) {
 	p.platform.After(rec.At-p.platform.Now(), wrapped)
 }
 
-// afterTimer schedules fn after d seconds under a fresh timer record.
-func (p *Protocol) afterTimer(kind TimerKind, probe int, d float64, fn func()) {
+// afterTimer schedules the rec action after d seconds.
+func (p *Protocol) afterTimer(kind TimerKind, probe int, d float64) {
 	if d < 0 {
 		d = 0
 	}
-	p.scheduleTimer(TimerRec{Kind: kind, Probe: probe, At: p.platform.Now() + d}, fn)
+	p.scheduleTimer(TimerRec{Kind: kind, Probe: probe, At: p.platform.Now() + d})
 }
 
 func (p *Protocol) removeTimer(rec TimerRec) {
@@ -229,7 +293,7 @@ func (p *Protocol) removeTimer(rec TimerRec) {
 
 func (p *Protocol) scheduleWakeup() {
 	ts := p.platform.Rand().Exp(p.lambda)
-	p.afterTimer(TimerWakeup, 0, ts, p.wake)
+	p.afterTimer(TimerWakeup, 0, ts)
 }
 
 // wake begins a probe round (Sleeping -> Probing in Figure 1).
@@ -244,16 +308,18 @@ func (p *Protocol) wake() {
 	// interval to reduce collisions").
 	p.sendProbe(0)
 	for i := 1; i < p.cfg.NumProbes; i++ {
-		seq := i
 		delay := p.platform.Rand().Uniform(0, p.cfg.ProbeWindow/2)
-		p.afterTimer(TimerProbeSend, seq, delay, func() { p.sendProbe(seq) })
+		p.afterTimer(TimerProbeSend, i, delay)
 	}
-	p.afterTimer(TimerProbeEnd, 0, p.cfg.ProbeWindow, p.endProbe)
+	p.afterTimer(TimerProbeEnd, 0, p.cfg.ProbeWindow)
 }
 
 func (p *Protocol) sendProbe(seq int) {
 	p.stats.ProbesSent++
-	p.platform.Broadcast(p.cfg.PacketSize, p.cfg.ProbingRange, Probe{From: p.id, Seq: seq})
+	for len(p.probeBox) <= seq {
+		p.probeBox = append(p.probeBox, Probe{From: p.id, Seq: len(p.probeBox)})
+	}
+	p.platform.Broadcast(p.cfg.PacketSize, p.cfg.ProbingRange, p.probeBox[seq])
 }
 
 // endProbe closes the probe window: hearing at least one REPLY sends the
@@ -330,7 +396,7 @@ func (p *Protocol) onProbe(msg Probe) {
 	}
 	p.replyPending = true
 	jitter := p.platform.Rand().Uniform(0, p.cfg.ReplyJitterMax)
-	p.afterTimer(TimerReply, 0, jitter, p.fireReply)
+	p.afterTimer(TimerReply, 0, jitter)
 }
 
 // fireReply transmits the backed-off REPLY scheduled by onProbe.

@@ -42,6 +42,16 @@ type AbsolutePlatform interface {
 	At(at float64, fn func())
 }
 
+// ArgPlatform is an optional Platform extension for schedulers with an
+// allocation-free absolute-time variant: fn is a shared function and arg
+// carries the per-event state, so arming a timer needs no closure. When
+// the platform provides it, protocol timers ride pooled records.
+type ArgPlatform interface {
+	// AtArg schedules fn(arg) at the absolute time at; past deadlines
+	// fire immediately.
+	AtArg(at float64, fn func(any), arg any)
+}
+
 // EstimatorState is the serializable state of a RateEstimator.
 type EstimatorState struct {
 	N        int
@@ -111,19 +121,11 @@ func (p *Protocol) RestoreState(st ProtocolState) {
 }
 
 // ResumeTimers rebuilds live engine callbacks for the captured pending
-// timers, in their recorded order, at their exact recorded deadlines.
+// timers, in their recorded order, at their exact recorded deadlines. The
+// records are self-describing — dispatch maps Kind back to the action —
+// so resuming is just re-arming each one.
 func (p *Protocol) ResumeTimers(timers []TimerRec) {
 	for _, rec := range timers {
-		switch rec.Kind {
-		case TimerWakeup:
-			p.scheduleTimer(rec, p.wake)
-		case TimerProbeSend:
-			seq := rec.Probe
-			p.scheduleTimer(rec, func() { p.sendProbe(seq) })
-		case TimerProbeEnd:
-			p.scheduleTimer(rec, p.endProbe)
-		case TimerReply:
-			p.scheduleTimer(rec, p.fireReply)
-		}
+		p.scheduleTimer(rec)
 	}
 }

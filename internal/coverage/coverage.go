@@ -16,6 +16,9 @@ type Lattice struct {
 	field   geom.Field
 	spacing float64
 	points  []geom.Point
+	cols    int     // lattice points per row (row-major layout)
+	rows    int
+	counts  []int32 // Fraction scratch, reused across samples
 }
 
 // NewLattice builds a sampling lattice with the given spacing in meters.
@@ -24,12 +27,18 @@ func NewLattice(field geom.Field, spacing float64) *Lattice {
 		spacing = 1
 	}
 	var pts []geom.Point
+	cols := 0
+	rows := 0
 	for y := 0.0; y <= field.Height; y += spacing {
+		n := 0
 		for x := 0.0; x <= field.Width; x += spacing {
 			pts = append(pts, geom.Point{X: x, Y: y})
+			n++
 		}
+		cols = n
+		rows++
 	}
-	return &Lattice{field: field, spacing: spacing, points: pts}
+	return &Lattice{field: field, spacing: spacing, points: pts, cols: cols, rows: rows}
 }
 
 // Len returns the number of sample points.
@@ -57,6 +66,13 @@ func (l *Lattice) CoveredMask(sensors []geom.Point, radius float64) []bool {
 // Fraction returns, for each K in 1..maxK, the fraction of sample points
 // covered by at least K of the given sensor positions with the given
 // sensing radius.
+//
+// The count is computed by stamping each sensor's disk onto the lattice
+// rather than running one range query per lattice point: a sensor only
+// visits the ~pi*r^2/spacing^2 points it could cover, instead of every
+// point scanning every candidate sensor. The membership predicate is the
+// same exact squared-distance comparison either way, so the per-point
+// counts — and therefore the reported fractions — are identical.
 func (l *Lattice) Fraction(sensors []geom.Point, radius float64, maxK int) []float64 {
 	if maxK < 1 {
 		maxK = 1
@@ -65,19 +81,51 @@ func (l *Lattice) Fraction(sensors []geom.Point, radius float64, maxK int) []flo
 	if len(l.points) == 0 {
 		return out
 	}
-	counts := make([]int, len(l.points))
-	if len(sensors) > 0 {
-		idx := geom.NewIndex(l.field, sensors, radius)
-		for i, p := range l.points {
-			counts[i] = idx.CountWithin(p, radius)
+	if l.counts == nil {
+		l.counts = make([]int32, len(l.points))
+	}
+	counts := l.counts
+	clear(counts)
+	if len(sensors) > 0 && radius >= 0 {
+		r2 := radius * radius
+		for _, s := range sensors {
+			// Conservative candidate window: lattice coordinates are
+			// accumulated sums, so pad the index range by one cell to
+			// absorb any accumulation drift; the exact Dist2 test below
+			// decides membership.
+			c0 := int((s.X-radius)/l.spacing) - 1
+			c1 := int((s.X+radius)/l.spacing) + 1
+			r0 := int((s.Y-radius)/l.spacing) - 1
+			r1 := int((s.Y+radius)/l.spacing) + 1
+			if c0 < 0 {
+				c0 = 0
+			}
+			if r0 < 0 {
+				r0 = 0
+			}
+			if c1 >= l.cols {
+				c1 = l.cols - 1
+			}
+			if r1 >= l.rows {
+				r1 = l.rows - 1
+			}
+			for row := r0; row <= r1; row++ {
+				base := row * l.cols
+				for col := c0; col <= c1; col++ {
+					if l.points[base+col].Dist2(s) <= r2 {
+						counts[base+col]++
+					}
+				}
+			}
 		}
 	}
 	for _, c := range counts {
-		if c > maxK {
-			c = maxK
+		k := int(c)
+		if k > maxK {
+			k = maxK
 		}
-		for k := 1; k <= c; k++ {
-			out[k-1]++
+		for i := 0; i < k; i++ {
+			out[i]++
 		}
 	}
 	for k := range out {

@@ -9,11 +9,16 @@ import "math"
 // The index is built once at deployment time; sensor nodes are stationary
 // (paper §5.2), so there is no update path.
 type Index struct {
-	field   Field
-	cell    float64
-	cols    int
-	rows    int
-	buckets [][]int
+	field Field
+	cell  float64
+	cols  int
+	rows  int
+	// Buckets in CSR layout: the members of bucket b are
+	// entries[starts[b]:starts[b+1]], in ascending point order. One flat
+	// backing array replaces a slice-of-slices: two allocations at build
+	// time and contiguous scans at query time.
+	starts  []int32
+	entries []int32
 	points  []Point
 }
 
@@ -26,16 +31,33 @@ func NewIndex(field Field, points []Point, cellSize float64) *Index {
 	cols := int(math.Ceil(field.Width/cellSize)) + 1
 	rows := int(math.Ceil(field.Height/cellSize)) + 1
 	idx := &Index{
-		field:   field,
-		cell:    cellSize,
-		cols:    cols,
-		rows:    rows,
-		buckets: make([][]int, cols*rows),
-		points:  append([]Point(nil), points...),
+		field:  field,
+		cell:   cellSize,
+		cols:   cols,
+		rows:   rows,
+		starts: make([]int32, cols*rows+1),
+		points: append([]Point(nil), points...),
 	}
+	// Counting pass, prefix sum, fill pass: starts[b] ends up at the
+	// beginning of bucket b and the fill (in point order) keeps each
+	// bucket's members ascending, which pins the deterministic visit order.
+	counts := make([]int32, cols*rows)
+	for _, p := range idx.points {
+		counts[idx.bucketOf(p)]++
+	}
+	var sum int32
+	for b, c := range counts {
+		idx.starts[b] = sum
+		sum += c
+	}
+	idx.starts[len(counts)] = sum
+	idx.entries = make([]int32, sum)
+	fill := make([]int32, cols*rows)
+	copy(fill, idx.starts[:len(counts)])
 	for i, p := range idx.points {
 		b := idx.bucketOf(p)
-		idx.buckets[b] = append(idx.buckets[b], i)
+		idx.entries[fill[b]] = int32(i)
+		fill[b]++
 	}
 	return idx
 }
@@ -69,6 +91,17 @@ func (idx *Index) At(i int) Point { return idx.points[i] }
 // and its distance from center. Iteration order is deterministic (bucket
 // scan order) so simulations remain reproducible.
 func (idx *Index) Within(center Point, radius float64, fn func(i int, dist float64)) {
+	idx.Within2(center, radius, func(i int, d2 float64) {
+		fn(i, math.Sqrt(d2))
+	})
+}
+
+// Within2 is the hot-path variant of Within: fn receives the squared
+// distance, so callers that filter most candidates (the radio medium
+// visits every in-range node but delivers to few) pay for a Sqrt only on
+// the points they keep. Inclusion is decided on squared values exactly as
+// in Within — the two visit identical point sets in identical order.
+func (idx *Index) Within2(center Point, radius float64, fn func(i int, d2 float64)) {
 	if radius < 0 {
 		return
 	}
@@ -91,10 +124,11 @@ func (idx *Index) Within(center Point, radius float64, fn func(i int, dist float
 	}
 	for row := r0; row <= r1; row++ {
 		for col := c0; col <= c1; col++ {
-			for _, i := range idx.buckets[row*idx.cols+col] {
+			b := row*idx.cols + col
+			for _, i := range idx.entries[idx.starts[b]:idx.starts[b+1]] {
 				d2 := center.Dist2(idx.points[i])
 				if d2 <= r2 {
-					fn(i, math.Sqrt(d2))
+					fn(int(i), d2)
 				}
 			}
 		}
@@ -102,8 +136,39 @@ func (idx *Index) Within(center Point, radius float64, fn func(i int, dist float
 }
 
 // CountWithin returns the number of indexed points within radius of center.
+// The loop is inlined rather than layered over Within: counting pays no
+// callback indirection per candidate.
 func (idx *Index) CountWithin(center Point, radius float64) int {
+	if radius < 0 {
+		return 0
+	}
+	r2 := radius * radius
+	c0 := int((center.X - radius) / idx.cell)
+	c1 := int((center.X + radius) / idx.cell)
+	r0 := int((center.Y - radius) / idx.cell)
+	r1 := int((center.Y + radius) / idx.cell)
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r0 < 0 {
+		r0 = 0
+	}
+	if c1 >= idx.cols {
+		c1 = idx.cols - 1
+	}
+	if r1 >= idx.rows {
+		r1 = idx.rows - 1
+	}
 	n := 0
-	idx.Within(center, radius, func(int, float64) { n++ })
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			b := row*idx.cols + col
+			for _, i := range idx.entries[idx.starts[b]:idx.starts[b+1]] {
+				if center.Dist2(idx.points[i]) <= r2 {
+					n++
+				}
+			}
+		}
+	}
 	return n
 }

@@ -1,0 +1,29 @@
+package node
+
+import (
+	"testing"
+)
+
+// End-to-end microbenchmark: a full PEAS network simulated for a fixed
+// horizon. Run with
+//
+//	go test ./internal/node -run=NONE -bench=. -benchmem
+//
+// This is the number the allocs-per-event gate tracks at system level;
+// the per-op allocations here are dominated by network construction, so
+// watch B/op trends rather than absolutes.
+
+func benchNetwork(b *testing.B, n int, horizon float64) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net, err := NewNetwork(DefaultConfig(n, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Start()
+		net.Run(horizon)
+	}
+}
+
+func BenchmarkNetwork80(b *testing.B)  { benchNetwork(b, 80, 600) }
+func BenchmarkNetwork320(b *testing.B) { benchNetwork(b, 320, 600) }

@@ -110,6 +110,10 @@ func (n *Node) After(d float64, fn func()) { n.network.Engine.Schedule(d, fn) }
 // recorded deadlines.
 func (n *Node) At(at float64, fn func()) { n.network.Engine.At(at, fn) }
 
+// AtArg schedules a shared callback with a pooled argument record (via
+// core.ArgPlatform), keeping the protocol timer hot path allocation-free.
+func (n *Node) AtArg(at float64, fn func(any), arg any) { n.network.Engine.AtArg(at, fn, arg) }
+
 // Broadcast transmits a protocol frame over the shared medium.
 func (n *Node) Broadcast(size int, radius float64, payload any) {
 	if !n.alive {
@@ -276,17 +280,23 @@ func (n *Node) rescheduleDeath() {
 	n.scheduleDeathAt(t)
 }
 
+// runDeathEvent is the shared depletion callback; the event argument is
+// the node itself, so the constant re-arming on every energy spend
+// allocates nothing.
+func runDeathEvent(a any) {
+	n := a.(*Node)
+	n.deathEvent = nil
+	if n.alive && n.battery.Remaining(n.Now()) <= 1e-12 {
+		n.die(Depletion)
+	} else {
+		n.rescheduleDeath()
+	}
+}
+
 // scheduleDeathAt arms the depletion event at the absolute time t. The
 // checkpoint restore path calls it with the captured deadline rather than
 // recomputing one: recomputation would settle the battery and shift the
 // deadline by an ulp off the uninterrupted run's.
 func (n *Node) scheduleDeathAt(t float64) {
-	n.deathEvent = n.network.Engine.At(t, func() {
-		n.deathEvent = nil
-		if n.alive && n.battery.Remaining(n.Now()) <= 1e-12 {
-			n.die(Depletion)
-		} else {
-			n.rescheduleDeath()
-		}
-	})
+	n.deathEvent = n.network.Engine.AtArg(t, runDeathEvent, n)
 }

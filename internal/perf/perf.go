@@ -1,0 +1,95 @@
+// Package perf provides the profiling capture helpers behind the
+// performance-engineering workflow (DESIGN.md §9): one-call CPU, heap and
+// execution-trace capture plus an allocation meter for deriving the
+// allocs-per-event regression metric. cmd/peas-bench wires these to the
+// -cpuprofile/-memprofile flags; ad-hoc experiments can use them directly.
+package perf
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// function that stops it and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: creating cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("perf: starting cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile runs a GC (so the profile reflects live objects, not
+// collection timing) and writes the allocation profile to path. The
+// "allocs" profile is used rather than "heap" so cumulative allocation
+// sites show up even after their objects die — that is what matters when
+// chasing allocs/event.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("perf: creating heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("perf: writing heap profile: %w", err)
+	}
+	return nil
+}
+
+// StartTrace begins a runtime execution trace written to path and returns
+// the function that stops it and closes the file.
+func StartTrace(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: creating trace: %w", err)
+	}
+	if err := trace.Start(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("perf: starting trace: %w", err)
+	}
+	return func() error {
+		trace.Stop()
+		return f.Close()
+	}, nil
+}
+
+// AllocMeter measures heap allocation counts across a region of code via
+// runtime.MemStats deltas. Allocation counts of a deterministic
+// single-goroutine simulation are themselves deterministic, which is what
+// lets the bench gate treat allocs/event as a hard regression metric
+// where wall time can only be advisory.
+type AllocMeter struct {
+	start runtime.MemStats
+}
+
+// Start runs a GC to settle pending frees and records the baseline.
+func (m *AllocMeter) Start() {
+	runtime.GC()
+	runtime.ReadMemStats(&m.start)
+}
+
+// Allocs returns the number of heap objects allocated since Start.
+func (m *AllocMeter) Allocs() uint64 {
+	var now runtime.MemStats
+	runtime.ReadMemStats(&now)
+	return now.Mallocs - m.start.Mallocs
+}
+
+// Bytes returns the number of heap bytes allocated since Start.
+func (m *AllocMeter) Bytes() uint64 {
+	var now runtime.MemStats
+	runtime.ReadMemStats(&now)
+	return now.TotalAlloc - m.start.TotalAlloc
+}

@@ -1,0 +1,94 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCPUProfileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	// Burn a little CPU so the profile is not empty on fast machines.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("cpu profile is empty")
+	}
+}
+
+func TestHeapProfileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	if err := WriteHeapProfile(path); err != nil {
+		t.Fatalf("WriteHeapProfile: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.out")
+	stop, err := StartTrace(path)
+	if err != nil {
+		t.Fatalf("StartTrace: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("trace is empty")
+	}
+}
+
+func TestAllocMeterCountsAllocations(t *testing.T) {
+	var m AllocMeter
+	m.Start()
+	sink := make([][]byte, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		sink = append(sink, make([]byte, 64))
+	}
+	if len(sink) != 1000 {
+		t.Fatal("unreachable")
+	}
+	if got := m.Allocs(); got < 1000 {
+		t.Fatalf("Allocs() = %d, want >= 1000", got)
+	}
+	if got := m.Bytes(); got < 64*1000 {
+		t.Fatalf("Bytes() = %d, want >= 64000", got)
+	}
+}
+
+func TestProfileErrorsOnBadPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "x")
+	if _, err := StartCPUProfile(bad); err == nil {
+		t.Error("StartCPUProfile: want error for unwritable path")
+	}
+	if err := WriteHeapProfile(bad); err == nil {
+		t.Error("WriteHeapProfile: want error for unwritable path")
+	}
+	if _, err := StartTrace(bad); err == nil {
+		t.Error("StartTrace: want error for unwritable path")
+	}
+}

@@ -1,0 +1,84 @@
+package radio
+
+import (
+	"testing"
+
+	"peas/internal/geom"
+	"peas/internal/sim"
+	"peas/internal/stats"
+)
+
+// Microbenchmark for the broadcast hot path: a dense grid where every
+// transmission reaches many listeners. Run with
+//
+//	go test ./internal/radio -run=NONE -bench=. -benchmem
+//
+// The steady-state allocs/op must stay at 0: delivery records come from
+// the medium's free list and engine events from the engine's pool.
+
+// benchReceiver counts deliveries without recording them, so the benchmark
+// measures the medium rather than a growing capture slice.
+type benchReceiver struct{ n int }
+
+func (r *benchReceiver) Listening() bool         { return true }
+func (r *benchReceiver) Deliver(Packet, float64) { r.n++ }
+
+func benchMedium(cfg Config) (*Medium, *sim.Engine) {
+	var positions []geom.Point
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			positions = append(positions, geom.Point{X: float64(c) * 3, Y: float64(r) * 3})
+		}
+	}
+	engine := sim.NewEngine()
+	field := geom.NewField(100, 100)
+	idx := geom.NewIndex(field, positions, 3)
+	m := NewMedium(cfg, engine, idx, stats.NewRNG(1), newSinkRecorder())
+	for i := range positions {
+		m.Attach(NodeID(i), &benchReceiver{})
+	}
+	return m, engine
+}
+
+func benchBroadcast(b *testing.B, cfg Config) {
+	m, engine := benchMedium(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Broadcast(Packet{From: NodeID(i % 64), Size: 25, Range: 10})
+		engine.Run(engine.Now() + 1)
+	}
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CSMAEnabled = false
+	benchBroadcast(b, cfg)
+}
+
+func BenchmarkBroadcastFixedPower(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CSMAEnabled = false
+	cfg.FixedPower = true
+	benchBroadcast(b, cfg)
+}
+
+func BenchmarkBroadcastIrregular(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CSMAEnabled = false
+	cfg.Irregularity = 0.3
+	benchBroadcast(b, cfg)
+}
+
+func BenchmarkBroadcastWithFaultCopies(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CSMAEnabled = false
+	m, engine := benchMedium(cfg)
+	m.SetFaultInjector(fixedCopies{n: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Broadcast(Packet{From: NodeID(i % 64), Size: 25, Range: 10})
+		engine.Run(engine.Now() + 1)
+	}
+}

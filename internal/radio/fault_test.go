@@ -1,0 +1,117 @@
+package radio
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"peas/internal/geom"
+	"peas/internal/sim"
+	"peas/internal/stats"
+)
+
+// Tests for the pooled fault-copy delivery path: one delivery record per
+// (frame, receiver) pair regardless of how many duplicate copies the chaos
+// layer schedules, and exact reproducibility of a fault-heavy broadcast
+// storm across two identical runs.
+
+// fixedCopies duplicates every frame with a constant number of extra copies.
+type fixedCopies struct{ n int }
+
+func (f fixedCopies) JudgeFrame(from, to NodeID) FaultDecision {
+	return FaultDecision{Copies: f.n}
+}
+
+// scriptedInjector makes pseudo-random drop/duplicate/delay decisions from
+// its own seeded stream, like the chaos channel does.
+type scriptedInjector struct{ rng *stats.RNG }
+
+func (s *scriptedInjector) JudgeFrame(from, to NodeID) FaultDecision {
+	var fd FaultDecision
+	switch r := s.rng.Float64(); {
+	case r < 0.2:
+		fd.Drop = true
+	case r < 0.5:
+		fd.Copies = 1 + int(s.rng.Uint64()%3)
+	}
+	if s.rng.Float64() < 0.3 {
+		fd.Delay = s.rng.Float64() * 0.05
+	}
+	return fd
+}
+
+func freeDeliveryRecords(m *Medium) int {
+	n := 0
+	for d := m.freeDel; d != nil; d = d.next {
+		n++
+	}
+	return n
+}
+
+func TestFaultCopiesShareOneDeliveryRecord(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CSMAEnabled = false
+	m, engine, receivers, _ := testMedium(cfg, []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}})
+	m.SetFaultInjector(fixedCopies{n: 3})
+
+	m.Broadcast(Packet{From: 0, Size: 25, Range: 10})
+	engine.Run(sim.Forever)
+	if got := len(receivers[1].got); got != 4 {
+		t.Fatalf("receiver got %d deliveries, want 4 (original + 3 duplicates)", got)
+	}
+	if n := freeDeliveryRecords(m); n != 1 {
+		t.Fatalf("free list holds %d delivery records after the run, want 1 shared record", n)
+	}
+
+	// A second faulted broadcast must reuse the pooled record, not allocate
+	// a second one.
+	m.Broadcast(Packet{From: 0, Size: 25, Range: 10})
+	engine.Run(sim.Forever)
+	if got := len(receivers[1].got); got != 8 {
+		t.Fatalf("receiver got %d deliveries after second broadcast, want 8", got)
+	}
+	if n := freeDeliveryRecords(m); n != 1 {
+		t.Fatalf("free list holds %d delivery records after reuse, want 1", n)
+	}
+}
+
+// TestFaultedDeliveryDeterminism runs the same duplicate/drop/delay-laden
+// broadcast storm twice and requires a bit-identical digest of every
+// delivery (receiver, sender, payload, distance, in order) and of the
+// medium counters. This pins the rewritten copy scheduling: one pooled
+// record feeding several AtArg events must preserve the exact delivery
+// order the per-copy closures produced.
+func TestFaultedDeliveryDeterminism(t *testing.T) {
+	run := func() string {
+		cfg := DefaultConfig()
+		var positions []geom.Point
+		for r := 0; r < 5; r++ {
+			for c := 0; c < 5; c++ {
+				positions = append(positions, geom.Point{X: float64(c) * 4, Y: float64(r) * 4})
+			}
+		}
+		m, engine, receivers, _ := testMedium(cfg, positions)
+		m.SetFaultInjector(&scriptedInjector{rng: stats.NewRNG(7)})
+		for i := range positions {
+			i := i
+			engine.At(float64(i)*0.004, func() {
+				m.Broadcast(Packet{From: NodeID(i), Size: 25, Range: 10, Payload: i})
+			})
+		}
+		engine.Run(sim.Forever)
+
+		h := sha256.New()
+		for ri, r := range receivers {
+			for k, pkt := range r.got {
+				fmt.Fprintf(h, "%d %d %v %.17g\n", ri, pkt.From, pkt.Payload, r.dists[k])
+			}
+		}
+		sent, delivered, collided, lost, bytes := m.Stats()
+		fmt.Fprintf(h, "%d %d %d %d %d %d\n", sent, delivered, collided, lost, bytes, m.Deferred())
+		return fmt.Sprintf("%x", h.Sum(nil))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical faulted runs produced different delivery digests:\n  %s\n  %s", a, b)
+	}
+}

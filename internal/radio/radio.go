@@ -18,6 +18,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 
 	"peas/internal/geom"
 	"peas/internal/sim"
@@ -122,6 +123,58 @@ func DefaultConfig() Config {
 	}
 }
 
+// delivery is one pooled in-flight frame record. A single record serves
+// every scheduled copy of a (frame, receiver) pair — fault-injected
+// duplicates share it instead of allocating one closure per copy — and is
+// returned to the medium's free list when the last copy lands.
+type delivery struct {
+	m      *Medium
+	to     int32
+	copies int32 // scheduled copies still to execute
+	dist   float64
+	pkt    Packet
+	next   *delivery // free-list link
+}
+
+// runDelivery is the shared engine callback for every delivery record.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	m := d.m
+	m.inflight--
+	d.copies--
+	m.deliver(int(d.to), d.pkt, d.dist)
+	if d.copies <= 0 {
+		d.pkt = Packet{} // drop the payload reference
+		d.next = m.freeDel
+		m.freeDel = d
+	}
+}
+
+// deferral is one pooled carrier-sense retry record.
+type deferral struct {
+	m    *Medium
+	pkt  Packet
+	next *deferral // free-list link
+}
+
+// runDeferral is the shared engine callback for every deferral record.
+func runDeferral(a any) {
+	r := a.(*deferral)
+	m := r.m
+	pkt := r.pkt
+	m.inflight--
+	// Release before re-broadcasting: a renewed deferral reuses the record.
+	r.pkt = Packet{}
+	r.next = m.freeDef
+	m.freeDef = r
+	// The sender may have slept or died during the deferral; a powered-down
+	// radio cannot resume the transmission.
+	if snd := m.nodes[pkt.From]; snd == nil || !snd.Listening() {
+		return
+	}
+	m.Broadcast(pkt)
+}
+
 // Medium is the shared broadcast channel.
 type Medium struct {
 	cfg     Config
@@ -133,6 +186,8 @@ type Medium struct {
 	quality *qualityField // nil when irregularity is off
 	busyEnd []sim.Time    // per-receiver: end of last reception overlapping now
 	corrupt []bool        // per-receiver: current reception window corrupted
+	freeDel *delivery     // delivery-record pool
+	freeDef *deferral     // carrier-sense retry pool
 	// inflight counts engine events the medium still owes: pending
 	// deliveries and carrier-sense retries. The checkpoint subsystem only
 	// snapshots when it is zero — a quiescent radio boundary — so frames
@@ -283,7 +338,8 @@ func (m *Medium) Broadcast(pkt Packet) {
 	now := m.engine.Now()
 
 	// Carrier sense: defer while the channel is audibly busy at the
-	// transmitter (including its own previous transmission).
+	// transmitter (including its own previous transmission). The retry is
+	// a pooled record, not a fresh closure.
 	if m.cfg.CSMAEnabled && m.busyEnd[pkt.From] > now {
 		backoffMax := m.cfg.CSMABackoffMax
 		if backoffMax <= 0 {
@@ -291,16 +347,16 @@ func (m *Medium) Broadcast(pkt Packet) {
 		}
 		m.deferred++
 		delay := m.busyEnd[pkt.From] - now + m.rng.Uniform(0, backoffMax)
+		r := m.freeDef
+		if r != nil {
+			m.freeDef = r.next
+			r.next = nil
+		} else {
+			r = &deferral{m: m}
+		}
+		r.pkt = pkt
 		m.inflight++
-		m.engine.Schedule(delay, func() {
-			m.inflight--
-			// The sender may have slept or died during the deferral; a
-			// powered-down radio cannot resume the transmission.
-			if snd := m.nodes[pkt.From]; snd == nil || !snd.Listening() {
-				return
-			}
-			m.Broadcast(pkt)
-		})
+		m.engine.ScheduleArg(delay, runDeferral, r)
 		return
 	}
 	if m.OnTransmit != nil {
@@ -330,7 +386,15 @@ func (m *Medium) Broadcast(pkt Packet) {
 	if m.quality != nil {
 		queryRange = physRange * (1 + m.cfg.Irregularity)
 	}
-	m.idx.Within(center, queryRange, func(i int, dist float64) {
+	// Counter updates are batched in locals and flushed once after the
+	// receiver sweep; nothing can observe the medium counters mid-event.
+	var collided, lost uint64
+	// The sweep works on squared distances (Within2) and takes the Sqrt
+	// only for frames that survive the filters. When a distance-derived
+	// quantity feeds a legacy comparison (irregularity, fixed power) the
+	// exact historical arithmetic — Sqrt first, then divide/compare — is
+	// reproduced so trajectories stay bit-identical.
+	m.idx.Within2(center, queryRange, func(i int, d2 float64) {
 		if NodeID(i) == pkt.From {
 			return
 		}
@@ -338,9 +402,10 @@ func (m *Medium) Broadcast(pkt Packet) {
 		if rcv == nil || !rcv.Listening() {
 			return
 		}
+		dist := -1.0 // computed lazily from d2
 		if m.quality != nil {
 			// Effective distance at the receiver's area quality.
-			dist = dist / m.quality.at(m.idx.At(i))
+			dist = math.Sqrt(d2) / m.quality.at(m.idx.At(i))
 			if dist > physRange {
 				return
 			}
@@ -353,7 +418,7 @@ func (m *Medium) Broadcast(pkt Packet) {
 				// Overlapping reception: both frames are lost.
 				m.corrupt[i] = true
 				corrupted = true
-				m.collided++
+				collided++
 			} else {
 				m.corrupt[i] = false
 			}
@@ -362,13 +427,18 @@ func (m *Medium) Broadcast(pkt Packet) {
 			}
 		}
 		if !corrupted && m.cfg.LossRate > 0 && m.rng.Float64() < m.cfg.LossRate {
-			m.lost++
+			lost++
 			return
 		}
 		// Threshold filter under fixed power: the receiver only reacts
 		// to frames whose strength corresponds to the requested range.
-		if m.cfg.FixedPower && dist > pkt.Range {
-			return
+		if m.cfg.FixedPower {
+			if dist < 0 {
+				dist = math.Sqrt(d2)
+			}
+			if dist > pkt.Range {
+				return
+			}
 		}
 		deliverAt := end
 		copies := 1
@@ -380,16 +450,27 @@ func (m *Medium) Broadcast(pkt Packet) {
 			deliverAt += fd.Delay
 			copies += fd.Copies
 		}
-		p, d := pkt, dist
-		idx := i
+		if dist < 0 {
+			dist = math.Sqrt(d2)
+		}
+		d := m.freeDel
+		if d != nil {
+			m.freeDel = d.next
+			d.next = nil
+		} else {
+			d = &delivery{m: m}
+		}
+		d.to = int32(i)
+		d.copies = int32(copies)
+		d.dist = dist
+		d.pkt = pkt
 		for c := 0; c < copies; c++ {
 			m.inflight++
-			m.engine.At(deliverAt, func() {
-				m.inflight--
-				m.deliver(idx, p, d)
-			})
+			m.engine.AtArg(deliverAt, runDelivery, d)
 		}
 	})
+	m.collided += collided
+	m.lost += lost
 }
 
 func (m *Medium) deliver(i int, pkt Packet, dist float64) {

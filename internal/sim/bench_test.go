@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+// Microbenchmarks for the event-engine hot path. Run with
+//
+//	go test ./internal/sim -run=NONE -bench=. -benchmem
+//
+// The Arg variants must report 0 allocs/op in steady state; the closure
+// variants pay one allocation per closure and exist for cold paths.
+
+func BenchmarkScheduleRunClosure(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		e.Run(e.Now() + 2)
+	}
+}
+
+func BenchmarkScheduleRunArg(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	fn := func(any) { n++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(1, fn, nil)
+		e.Run(e.Now() + 2)
+	}
+}
+
+// BenchmarkQueueChurn keeps a deep queue (1024 pending events) while
+// scheduling and executing, exercising full-depth heap sifts.
+func BenchmarkQueueChurn(b *testing.B) {
+	e := NewEngine()
+	fn := func(any) {}
+	for i := 0; i < 1024; i++ {
+		e.ScheduleArg(float64(i+1), fn, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(1025, fn, nil)
+		e.Step()
+	}
+}
+
+// BenchmarkCancelRearm models the battery-death pattern: a far-future
+// event is cancelled and re-armed over and over, leaving tombstones that
+// only compaction can reclaim.
+func BenchmarkCancelRearm(b *testing.B) {
+	e := NewEngine()
+	fn := func(any) {}
+	b.ReportAllocs()
+	var ev *Event
+	for i := 0; i < b.N; i++ {
+		e.Cancel(ev)
+		ev = e.AtArg(1e9+float64(i), fn, nil)
+	}
+}
+
+func BenchmarkTicker(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	tk := e.NewTicker(1, func() { n++ })
+	defer tk.Stop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -6,12 +6,17 @@
 //
 // The engine is single-threaded. Model code runs inside event callbacks and
 // must not retain the engine across goroutines.
+//
+// The scheduler is built for an allocation-free hot path: events live in a
+// free list and are reused, the priority queue is a concrete 4-ary min-heap
+// over small value slots (no container/heap interface boxing), and the
+// AtArg/ScheduleArg variants let callers schedule a shared callback with a
+// pooled argument record instead of a fresh closure. Execution order is
+// exactly the classic (when, seq) order: strictly increasing timestamps,
+// FIFO among simultaneous events.
 package sim
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // Time is a simulation timestamp in seconds since the start of the run.
 type Time = float64
@@ -20,13 +25,25 @@ type Time = float64
 const Forever Time = math.MaxFloat64
 
 // Event is a scheduled callback. The zero Event is invalid; obtain events
-// through Engine.Schedule or Engine.At.
+// through Engine.Schedule, Engine.At or their Arg variants.
+//
+// Executed events are recycled through a free list, so a caller that holds
+// an *Event must drop the reference once the event has fired (the Timer,
+// Ticker and node-death holders all clear their pointer as the first
+// statement of the callback). Calling Cancel on a stale pointer after the
+// engine has reused the struct would cancel an unrelated event.
 type Event struct {
-	when     Time
-	seq      uint64
-	index    int // heap position, -1 when not queued
-	fn       func()
+	when Time
+	seq  uint64
+	fn   func()
+	afn  func(any)
+	arg  any
+	// queued reports whether the event is still in the heap (live or
+	// lazily cancelled). canceled survives until the struct is reused so
+	// post-run Canceled() reads keep working.
+	queued   bool
 	canceled bool
+	next     *Event // free-list link
 }
 
 // Time returns the timestamp the event is (or was) scheduled for.
@@ -35,39 +52,94 @@ func (e *Event) Time() Time { return e.when }
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
-type eventQueue []*Event
+// slot is one heap entry. The comparison keys are stored by value next to
+// each other so sift operations stay inside one dense array and never
+// dereference the event until it executes.
+type slot struct {
+	when Time
+	seq  uint64
+	ev   *Event
+}
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+func (s slot) less(t slot) bool {
+	if s.when != t.when {
+		return s.when < t.when
 	}
-	return q[i].seq < q[j].seq // FIFO among simultaneous events
+	return s.seq < t.seq // FIFO among simultaneous events
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
+// eventQueue is a 4-ary min-heap ordered by (when, seq). 4-ary beats
+// binary here: sift-down does one comparison row per cache line of slots
+// and the tree is half as deep.
+type eventQueue []slot
 
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
+// shrinkMinCap is the capacity below which the queue never reallocates
+// downward; above it, a drain to under a quarter of capacity releases the
+// backing array so a transient event burst does not pin memory forever.
+const shrinkMinCap = 4096
+
+func (q *eventQueue) push(s slot) {
+	heap := append(*q, s)
+	i := len(heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !s.less(heap[p]) {
+			break
+		}
+		heap[i] = heap[p]
+		i = p
 	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
+	heap[i] = s
+	*q = heap
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
+// siftDown restores the heap property for the element at index i, assuming
+// both subtrees below it are already heaps.
+func siftDown(heap eventQueue, i int) {
+	n := len(heap)
+	s := heap[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if heap[j].less(heap[m]) {
+				m = j
+			}
+		}
+		if !heap[m].less(s) {
+			break
+		}
+		heap[i] = heap[m]
+		i = m
+	}
+	heap[i] = s
+}
+
+// pop removes and returns the minimum slot's event. The caller must know
+// the queue is non-empty.
+func (q *eventQueue) pop() *Event {
+	heap := *q
+	ev := heap[0].ev
+	n := len(heap) - 1
+	heap[0] = heap[n]
+	heap[n] = slot{} // release the *Event for GC
+	heap = heap[:n]
+	if n > 0 {
+		siftDown(heap, 0)
+	}
+	if cap(heap) >= shrinkMinCap && len(heap)*4 <= cap(heap) {
+		smaller := make(eventQueue, len(heap), cap(heap)/2)
+		copy(smaller, heap)
+		heap = smaller
+	}
+	*q = heap
 	return ev
 }
 
@@ -76,6 +148,9 @@ type Engine struct {
 	now      Time
 	seq      uint64
 	queue    eventQueue
+	live     int // queued events not yet cancelled
+	dead     int // cancelled events still occupying heap slots
+	free     *Event
 	executed uint64
 	stopped  bool
 
@@ -97,20 +172,68 @@ func (e *Engine) Now() Time { return e.now }
 // SetNow moves the clock to t without executing anything. It is the
 // restore-side counterpart of a checkpoint: a freshly built engine is
 // positioned at the snapshot time before the pending schedule is rebuilt.
-// SetNow panics if events are already queued — moving the clock under a
-// live schedule would let events execute in the past.
+// SetNow panics if events are still scheduled — moving the clock under a
+// live schedule would let events execute in the past. Lazily-cancelled
+// events do not count as scheduled; they are drained here.
 func (e *Engine) SetNow(t Time) {
-	if len(e.queue) > 0 {
+	if e.live > 0 {
 		panic("sim: SetNow with a non-empty schedule")
 	}
+	for len(e.queue) > 0 {
+		e.release(e.queue.pop())
+	}
+	e.dead = 0
 	e.now = t
 }
 
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events still scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events still scheduled (cancelled events
+// are removed lazily and never counted).
+func (e *Engine) Pending() int { return e.live }
+
+// alloc takes an event off the free list, or grows the pool.
+func (e *Engine) alloc() *Event {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		ev.canceled = false
+	} else {
+		ev = new(Event)
+	}
+	ev.queued = true
+	return ev
+}
+
+// release clears an event's callback state and returns the struct to the
+// free list. The canceled flag is kept until reuse so a holder can still
+// observe Canceled() after the run.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.queued = false
+	ev.next = e.free
+	e.free = ev
+}
+
+func (e *Engine) schedule(when Time, fn func(), afn func(any), arg any) *Event {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	ev := e.alloc()
+	ev.when = when
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.afn = afn
+	ev.arg = arg
+	e.queue.push(slot{when: when, seq: e.seq, ev: ev})
+	e.live++
+	return ev
+}
 
 // Schedule runs fn after delay seconds of simulated time. A zero delay runs
 // fn after all previously scheduled events at the current instant.
@@ -120,32 +243,77 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
 	}
-	return e.At(e.now+delay, fn)
+	return e.schedule(e.now+delay, fn, nil, nil)
 }
 
 // At runs fn at the absolute simulation time when. Times in the past are
 // clamped to the current instant.
 func (e *Engine) At(when Time, fn func()) *Event {
-	if when < e.now {
-		when = e.now
+	return e.schedule(when, fn, nil, nil)
+}
+
+// AtArg is the allocation-free variant of At: fn is a shared (typically
+// package-level) function and arg carries the per-event state, so hot
+// paths can schedule pooled argument records instead of fresh closures.
+func (e *Engine) AtArg(when Time, fn func(any), arg any) *Event {
+	return e.schedule(when, nil, fn, arg)
+}
+
+// ScheduleArg is the allocation-free variant of Schedule; see AtArg.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) *Event {
+	if delay < 0 {
+		delay = 0
 	}
-	e.seq++
-	ev := &Event{when: when, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.queue, ev)
-	return ev
+	return e.schedule(e.now+delay, nil, fn, arg)
 }
 
 // Cancel removes ev from the schedule. Cancelling a nil, already-executed,
 // or already-cancelled event is a no-op, so model code can cancel
-// unconditionally.
+// unconditionally. The callback and its argument are released immediately
+// — a cancelled event must not pin captured model state — and the heap
+// entry is dropped lazily when it reaches the front of the queue.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.canceled {
 		return
 	}
 	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-		ev.index = -1
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	if ev.queued {
+		e.live--
+		e.dead++
+		// Cancelled entries are usually dropped lazily when they surface
+		// at the queue head, but a model that keeps re-arming far-future
+		// timers (battery-depletion deadlines move on every packet) would
+		// grow the heap with tombstones that never surface. Compact once
+		// they dominate: release their structs and re-heapify the rest.
+		if e.dead >= 64 && e.dead*2 >= len(e.queue) {
+			e.compact()
+		}
+	}
+}
+
+// compact removes every cancelled entry from the heap in one pass and
+// restores the heap property bottom-up. Pop order is unaffected: it is
+// determined by the strict (when, seq) total order, not the heap layout.
+func (e *Engine) compact() {
+	q := e.queue
+	kept := q[:0]
+	for _, s := range q {
+		if s.ev.canceled {
+			e.release(s.ev)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	for i := len(kept); i < len(q); i++ {
+		q[i] = slot{}
+	}
+	e.queue = kept
+	e.dead = 0
+	for i := (len(kept) - 2) >> 2; i >= 0; i-- {
+		siftDown(kept, i)
 	}
 }
 
@@ -159,17 +327,29 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until Time) {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.when > until {
+		ev := e.queue[0].ev
+		if ev.canceled {
+			e.release(e.queue.pop())
+			e.dead--
+			continue
+		}
+		if ev.when > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		e.now = next.when
+		e.queue.pop()
+		e.live--
+		when := ev.when
+		e.now = when
 		e.executed++
 		if e.OnEvent != nil {
-			e.OnEvent(next.when)
+			e.OnEvent(when)
 		}
-		next.fn()
+		if ev.afn != nil {
+			ev.afn(ev.arg)
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+		e.release(ev)
 	}
 	if e.now < until && until != Forever {
 		e.now = until
@@ -178,18 +358,28 @@ func (e *Engine) Run(until Time) {
 
 // Step executes exactly one event and reports whether one was available.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
-		return false
+	for len(e.queue) > 0 {
+		ev := e.queue[0].ev
+		if ev.canceled {
+			e.release(e.queue.pop())
+			e.dead--
+			continue
+		}
+		e.queue.pop()
+		e.live--
+		when := ev.when
+		e.now = when
+		e.executed++
+		if e.OnEvent != nil {
+			e.OnEvent(when)
+		}
+		if ev.afn != nil {
+			ev.afn(ev.arg)
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+		e.release(ev)
+		return true
 	}
-	ev, ok := heap.Pop(&e.queue).(*Event)
-	if !ok {
-		return false
-	}
-	e.now = ev.when
-	e.executed++
-	if e.OnEvent != nil {
-		e.OnEvent(ev.when)
-	}
-	ev.fn()
-	return true
+	return false
 }

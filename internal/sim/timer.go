@@ -2,11 +2,20 @@ package sim
 
 // Timer is a restartable single-shot timer bound to an Engine. It mirrors
 // the shape of time.Timer so protocol code reads naturally in both the
-// simulator and the live runtime.
+// simulator and the live runtime. Arming a timer is allocation-free: the
+// firing event carries the timer itself as its argument instead of a
+// per-Reset closure.
 type Timer struct {
 	engine *Engine
 	event  *Event
 	fn     func()
+}
+
+// timerFire is the shared firing callback for every Timer.
+func timerFire(a any) {
+	t := a.(*Timer)
+	t.event = nil
+	t.fn()
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it fires.
@@ -18,12 +27,7 @@ func (e *Engine) NewTimer(fn func()) *Timer {
 // cancelled first, so at most one firing is pending at a time.
 func (t *Timer) Reset(delay Time) {
 	t.Stop()
-	t.event = t.engine.Schedule(delay, t.fire)
-}
-
-func (t *Timer) fire() {
-	t.event = nil
-	t.fn()
+	t.event = t.engine.ScheduleArg(delay, timerFire, t)
 }
 
 // Stop disarms the timer. Stopping an unarmed timer is a no-op.
@@ -45,11 +49,20 @@ type Ticker struct {
 	fn     func()
 }
 
+// tickerTick is the shared per-tick callback for every Ticker; it re-arms
+// before invoking the user callback so the callback sees NextAt() of the
+// following tick, and consumes no allocations per tick.
+func tickerTick(a any) {
+	t := a.(*Ticker)
+	t.event = t.engine.ScheduleArg(t.period, tickerTick, t)
+	t.fn()
+}
+
 // NewTicker returns a started ticker that calls fn every period seconds,
 // with the first call after one full period.
 func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.event = e.Schedule(period, t.tick)
+	t.event = e.ScheduleArg(period, tickerTick, t)
 	return t
 }
 
@@ -59,7 +72,7 @@ func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
 // had when the snapshot was taken.
 func (e *Engine) NewTickerAt(first, period Time, fn func()) *Ticker {
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.event = e.At(first, t.tick)
+	t.event = e.AtArg(first, tickerTick, t)
 	return t
 }
 
@@ -70,11 +83,6 @@ func (t *Ticker) NextAt() Time {
 		return Forever
 	}
 	return t.event.Time()
-}
-
-func (t *Ticker) tick() {
-	t.event = t.engine.Schedule(t.period, t.tick)
-	t.fn()
 }
 
 // Stop halts future ticks. Stop is idempotent.
