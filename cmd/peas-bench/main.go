@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"peas"
+	"peas/internal/buildinfo"
 	"peas/internal/perf"
 )
 
@@ -61,7 +62,12 @@ func run() error {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("peas-bench"))
+		return nil
+	}
 
 	if *cpuProfile != "" {
 		stop, err := perf.StartCPUProfile(*cpuProfile)

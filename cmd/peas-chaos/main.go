@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"peas"
+	"peas/internal/buildinfo"
 	"peas/internal/chaos"
 	"peas/internal/core"
 	"peas/internal/metrics"
@@ -59,7 +60,12 @@ func run() error {
 		scale    = flag.Float64("scale", 150, "live mode: protocol seconds per real second")
 		duration = flag.Duration("duration", 12*time.Second, "live mode: total real-time budget")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("peas-chaos"))
+		return nil
+	}
 
 	if *live {
 		return runLive(*liveN, *seed, *scale, *duration, *strict)

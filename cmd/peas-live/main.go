@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"peas"
+	"peas/internal/buildinfo"
 	"peas/internal/chaos"
 	"peas/peasnet"
 )
@@ -39,7 +40,12 @@ func run() error {
 		status    = flag.String("status", "", "serve cluster status JSON on this address (e.g. :8080)")
 		chaosOn   = flag.Bool("chaos", false, "inject channel impairments (5% loss, 5% duplication, 20% delayed frames) and report fault counters at exit")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("peas-live"))
+		return nil
+	}
 
 	var tr peasnet.Transport
 	switch *transport {

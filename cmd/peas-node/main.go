@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"peas"
+	"peas/internal/buildinfo"
 	"peas/peasnet"
 )
 
@@ -40,7 +41,12 @@ func run() error {
 		duration  = flag.Duration("duration", 20*time.Second, "how long to run (real time)")
 		seed      = flag.Int64("seed", 0, "node RNG seed (0 derives from id)")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("peas-node"))
+		return nil
+	}
 
 	if *gen > 0 {
 		return generate(*gen, *field, *basePort, *peersPath)

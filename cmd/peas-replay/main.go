@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"peas/internal/buildinfo"
 	"peas/internal/trace"
 )
 
@@ -27,7 +28,12 @@ func run() error {
 		deaths = flag.Bool("deaths", false, "list every death event")
 		width  = flag.Int("width", 60, "timeline chart width")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("peas-replay"))
+		return nil
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {

@@ -1,0 +1,135 @@
+// Command peas-serve runs the simulation service: a long-lived HTTP
+// control plane that accepts simulation, sweep and chaos-campaign jobs,
+// executes them on a bounded worker pool, and serves results from a
+// content-addressed cache keyed by the canonical encoding of the job
+// configuration. Identical submissions coalesce onto one run; repeats
+// are answered instantly with the recorded StateHash.
+//
+// Usage:
+//
+//	peas-serve -addr :8080 -workers 4 -queue 64
+//	peas-serve -state-dir /var/lib/peas -drain 30s
+//
+// Endpoints:
+//
+//	POST /api/v1/jobs             submit a job (429 + Retry-After when full)
+//	GET  /api/v1/jobs             list jobs
+//	GET  /api/v1/jobs/{id}        job status + result
+//	GET  /api/v1/jobs/{id}/events SSE lifecycle/progress stream
+//	GET  /api/v1/results/{key}    cached result by content key
+//	GET  /healthz                 liveness + build identity
+//	GET  /metrics                 Prometheus text metrics
+//
+// On SIGINT/SIGTERM the server stops accepting work and drains: running
+// jobs get -drain to finish; past the deadline they are checkpointed
+// into -state-dir (when set) and resume bit-exactly on the next boot.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"peas/internal/buildinfo"
+	"peas/internal/jobqueue"
+	"peas/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "peas-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "queued-job capacity before submissions get 429")
+		cacheCap  = flag.Int("cache", 1024, "result cache capacity (content-addressed entries)")
+		stateDir  = flag.String("state-dir", "", "persist specs and drain checkpoints here (enables resume across restarts)")
+		ckptEvery = flag.Float64("checkpoint-every", 250, "drain-checkpoint cadence in simulated seconds (with -state-dir)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+		version   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("peas-serve"))
+		return nil
+	}
+
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	pool := jobqueue.New(jobqueue.Config{
+		Workers:         nWorkers,
+		QueueDepth:      *queue,
+		CacheCap:        *cacheCap,
+		StateDir:        *stateDir,
+		CheckpointEvery: *ckptEvery,
+	})
+	if *stateDir != "" {
+		n, err := pool.Recover()
+		if err != nil {
+			return fmt.Errorf("recovering persisted jobs: %w", err)
+		}
+		if n > 0 {
+			log.Printf("recovered %d persisted job(s) from %s", n, *stateDir)
+		}
+	}
+	pool.Start()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(pool, nWorkers),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("%s listening on %s (%d workers, queue %d)",
+			buildinfo.String("peas-serve"), *addr, nWorkers, *queue)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("received %s, draining (budget %s)", s, *drain)
+	}
+
+	// Stop the listener first so no new work arrives, then drain the
+	// pool: jobs that outlive the budget are checkpointed (with
+	// -state-dir) and resume on the next boot.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	defer cancelDrain()
+	if err := pool.Shutdown(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("drain deadline passed; long-running jobs suspended")
+			return nil
+		}
+		return err
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

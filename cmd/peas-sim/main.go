@@ -28,6 +28,7 @@ import (
 	"strconv"
 
 	"peas"
+	"peas/internal/buildinfo"
 	"peas/internal/experiment"
 	"peas/internal/scenario"
 )
@@ -62,8 +63,14 @@ func run() error {
 		verify    = flag.Bool("verify", false, "check checkpoint determinism: direct run vs checkpoint+resume must hash equal")
 		check     = flag.Bool("check", false, "run with the runtime invariant oracle armed and verify the checkpoint chain; non-zero exit on any violation")
 		chaosPlan = flag.String("chaos-plan", "", `run under a scripted fault plan: a JSON file path or "mixed" (see peas-chaos)`)
+		remote    = flag.String("remote", "", "submit to a peas-serve instance at this base URL instead of running locally")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("peas-sim"))
+		return nil
+	}
 
 	cfg := peas.DefaultRunConfig(*n, *seed)
 	if *config != "" {
@@ -112,6 +119,13 @@ func run() error {
 			plan.Name, len(plan.Events), len(plan.Classes()))
 	}
 
+	if *remote != "" {
+		if *verify || *resume != "" || *ckptEvery > 0 || *traceOut != "" ||
+			*svgOut != "" || *ascii || *seriesOut != "" {
+			return fmt.Errorf("-remote only supports the plain run flags (plus -check and -chaos-plan); local-only outputs are unavailable")
+		}
+		return runRemote(*remote, cfg, *check)
+	}
 	if *verify {
 		return runVerify(cfg)
 	}
@@ -234,13 +248,25 @@ func run() error {
 		fmt.Printf("series:                -> %s\n", *seriesOut)
 	}
 
-	fmt.Printf("deployment:            %d nodes, seed %d\n", *n, *seed)
+	printStats(*n, *seed, cfg.Forwarding, res)
+	if chaosCounters != nil {
+		fmt.Println("chaos activity:")
+		for _, name := range chaosCounters.Names() {
+			fmt.Printf("  %-20s %8d\n", name, chaosCounters.Get(name))
+		}
+	}
+	return nil
+}
+
+// printStats renders the metric summary shared by local and remote runs.
+func printStats(n int, seed int64, forwarding bool, res *peas.RunStats) {
+	fmt.Printf("deployment:            %d nodes, seed %d\n", n, seed)
 	fmt.Printf("mean working nodes:    %.1f\n", res.MeanWorking)
 	for k := 3; k <= 5; k++ {
 		fmt.Printf("%d-coverage lifetime:   %.0f s (dropped=%v)\n",
 			k, res.CoverageLifetime[k-1], res.CoverageDropped[k-1])
 	}
-	if cfg.Forwarding {
+	if forwarding {
 		fmt.Printf("data delivery lifetime: %.0f s (dropped=%v; %d/%d reports)\n",
 			res.DeliveryLifetime, res.DeliveryDropped, res.ReportsDelivered, res.ReportsGenerated)
 	}
@@ -251,13 +277,6 @@ func run() error {
 		res.FailuresInjected, 100*res.FailedFraction)
 	fmt.Printf("packets:               sent=%d delivered=%d collided=%d\n",
 		res.PacketsSent, res.PacketsDelivered, res.PacketsCollided)
-	if chaosCounters != nil {
-		fmt.Println("chaos activity:")
-		for _, name := range chaosCounters.Names() {
-			fmt.Printf("  %-20s %8d\n", name, chaosCounters.Get(name))
-		}
-	}
-	return nil
 }
 
 // runCheck arms the runtime invariant oracle on the configured run and

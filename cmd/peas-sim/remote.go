@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"peas"
+	"peas/internal/client"
+	"peas/internal/jobqueue"
+)
+
+// runRemote submits the configured simulation to a peas-serve instance
+// instead of running it in-process, follows the job's SSE progress
+// stream, and prints the same metric summary the local path does plus
+// the service-side identity: the content key, the cache outcome, and
+// the recorded StateHash. Because the engine is bit-exact, a cache hit
+// is indistinguishable from a fresh run — the hash proves it.
+func runRemote(url string, cfg peas.RunConfig, check bool) error {
+	spec := &jobqueue.Spec{
+		Network:          cfg.Network,
+		FailuresPer5000s: cfg.FailuresPer5000s,
+		Horizon:          cfg.Horizon,
+		Forwarding:       cfg.Forwarding,
+		CoverageSpacing:  cfg.CoverageSpacing,
+		Check:            check,
+		Chaos:            cfg.Chaos,
+	}
+	c := client.New(url)
+	ctx := context.Background()
+
+	resp, err := c.Submit(ctx, spec)
+	if err != nil {
+		var retryable *client.RetryableError
+		if errors.As(err, &retryable) {
+			return fmt.Errorf("service at capacity; retry in %s", retryable.RetryAfter)
+		}
+		return err
+	}
+	fmt.Printf("remote:                %s\n", url)
+	fmt.Printf("job:                   %s (%s)\n", resp.Job.ID, resp.Outcome)
+	fmt.Printf("content key:           %s\n", resp.Job.Key)
+
+	if resp.Outcome != jobqueue.OutcomeCached {
+		// Follow progress at ~decile granularity until the job ends.
+		lastDecile := -1
+		err = c.Events(ctx, resp.Job.ID, func(ev jobqueue.Event) bool {
+			if ev.Type == jobqueue.EventProgress && ev.Horizon > 0 {
+				if d := int(ev.Fraction * 10); d > lastDecile {
+					lastDecile = d
+					fmt.Printf("progress:              t=%.0f s of %.0f s (%d%%), %d working\n",
+						ev.SimT, ev.Horizon, int(ev.Fraction*100), ev.Working)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("event stream: %w", err)
+		}
+	}
+
+	info, err := c.Wait(ctx, resp.Job.ID)
+	if err != nil {
+		return err
+	}
+	res := info.Result
+	if res == nil || res.Stats == nil {
+		return fmt.Errorf("job %s finished without run stats", info.ID)
+	}
+	fmt.Printf("state hash:            %s\n", res.StateHash)
+	fmt.Printf("server wall time:      %.3f s", res.WallSeconds)
+	if res.Events > 0 {
+		fmt.Printf(" (%d events, %.3f allocs/event)", res.Events, res.AllocsPerEvent)
+	}
+	fmt.Println()
+	printStats(cfg.Network.N, cfg.Network.Seed, cfg.Forwarding, res.Stats)
+	if len(res.Chaos) > 0 {
+		fmt.Println("chaos activity:")
+		for name, v := range res.Chaos {
+			fmt.Printf("  %-20s %8d\n", name, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package buildinfo reports the version identity of a peas binary. All
+// cmd/* entry points expose it behind a -version flag, and peas-serve
+// reports it in /healthz, so a deployment can always be traced back to
+// the exact build that produced it.
+//
+// The information comes from debug.ReadBuildInfo, which the Go linker
+// embeds automatically: the main module version (when built from a
+// tagged module zip) and the VCS revision/time/dirty stamps (when built
+// from a git checkout).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the resolved build identity.
+type Info struct {
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Commit is the VCS revision the binary was built from, with a
+	// "+dirty" suffix when the working tree had local modifications;
+	// "unknown" when no VCS stamp is embedded.
+	Commit string `json:"commit"`
+	// BuildTime is the VCS commit timestamp (RFC 3339), when stamped.
+	BuildTime string `json:"buildTime,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+}
+
+// read extracts Info from bi. Split from Read so tests can exercise the
+// parsing without controlling the process's own build metadata.
+func read(bi *debug.BuildInfo, ok bool) Info {
+	info := Info{Version: "unknown", Commit: "unknown", GoVersion: runtime.Version()}
+	if !ok || bi == nil {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	var revision string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		case "vcs.time":
+			info.BuildTime = s.Value
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if dirty {
+			revision += "+dirty"
+		}
+		info.Commit = revision
+	}
+	return info
+}
+
+// Read returns the build identity of the running binary.
+func Read() Info {
+	bi, ok := debug.ReadBuildInfo()
+	return read(bi, ok)
+}
+
+// String renders the identity as a one-line "name version (commit, go)"
+// banner, the format every -version flag prints.
+func String(name string) string {
+	info := Read()
+	return fmt.Sprintf("%s %s (commit %s, %s)", name, info.Version, info.Commit, info.GoVersion)
+}

@@ -1,0 +1,48 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestReadWithoutBuildInfo(t *testing.T) {
+	info := read(nil, false)
+	if info.Version != "unknown" || info.Commit != "unknown" {
+		t.Fatalf("missing build info should degrade to unknown, got %+v", info)
+	}
+	if info.GoVersion == "" {
+		t.Fatal("GoVersion must always be populated")
+	}
+}
+
+func TestReadParsesVCSStamps(t *testing.T) {
+	bi := &debug.BuildInfo{
+		Main: debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+			{Key: "vcs.time", Value: "2026-08-07T00:00:00Z"},
+		},
+	}
+	info := read(bi, true)
+	if info.Version != "v1.2.3" {
+		t.Errorf("Version = %q, want v1.2.3", info.Version)
+	}
+	if info.Commit != "0123456789ab+dirty" {
+		t.Errorf("Commit = %q, want truncated revision with +dirty", info.Commit)
+	}
+	if info.BuildTime != "2026-08-07T00:00:00Z" {
+		t.Errorf("BuildTime = %q", info.BuildTime)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := String("peas-test")
+	if !strings.HasPrefix(s, "peas-test ") {
+		t.Fatalf("String() = %q, want it to lead with the binary name", s)
+	}
+	if !strings.Contains(s, "commit ") || !strings.Contains(s, "go") {
+		t.Fatalf("String() = %q, want commit and go version", s)
+	}
+}

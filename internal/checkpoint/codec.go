@@ -90,6 +90,19 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	return err
 }
 
+// AppendNetConfig appends the canonical encoding of a network
+// configuration to buf and returns the extended slice. It is the same
+// encoding Snapshot.EncodeBytes embeds — a pure function of the config
+// value with fixed-width little-endian scalars — which makes it usable
+// as a content-address: two configs encode identically exactly when they
+// would drive identical simulations. The job queue derives its
+// result-cache keys from it.
+func AppendNetConfig(buf []byte, c *node.Config) []byte {
+	e := &enc{buf: buf}
+	encodeNetConfig(e, c)
+	return e.buf
+}
+
 func encodeNetConfig(e *enc, c *node.Config) {
 	e.f64(c.Field.Width)
 	e.f64(c.Field.Height)

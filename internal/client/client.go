@@ -1,0 +1,241 @@
+// Package client is the typed Go client of the simulation service: the
+// counterpart of internal/server used by peas-sim -remote, the smoke
+// tooling and the end-to-end tests. It speaks the api wire types,
+// surfaces 429 admission rejections as *RetryableError with the
+// server's Retry-After hint, and can follow a job's SSE event stream.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"peas/internal/jobqueue"
+	"peas/internal/server/api"
+)
+
+// Client talks to one peas-serve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the service at base (e.g.
+// "http://127.0.0.1:8080"). The http.Client has no overall timeout:
+// SSE streams and long polls are bounded by the caller's context.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// RetryableError reports a 429 admission rejection.
+type RetryableError struct {
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *RetryableError) Error() string {
+	return fmt.Sprintf("server busy: %s (retry after %s)", e.Message, e.RetryAfter)
+}
+
+// APIError reports any other non-2xx response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) url(path string) string { return c.base + path }
+
+// decodeError turns a non-2xx response into a typed error.
+func decodeError(resp *http.Response) error {
+	var body api.ErrorResponse
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Duration(body.RetryAfterSeconds) * time.Second
+		if retry == 0 {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		if retry == 0 {
+			retry = time.Second
+		}
+		return &RetryableError{Message: msg, RetryAfter: retry}
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec. The response reports whether it was
+// accepted, coalesced onto an in-flight run, or served from the cache.
+func (c *Client) Submit(ctx context.Context, spec *jobqueue.Spec) (*api.SubmitResponse, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/api/v1/jobs"), bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	var out api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches one job by ID.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobInfo, error) {
+	var out api.JobInfo
+	if err := c.getJSON(ctx, "/api/v1/jobs/"+id, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists every job the server tracks.
+func (c *Client) Jobs(ctx context.Context) ([]api.JobInfo, error) {
+	var out api.JobListResponse
+	if err := c.getJSON(ctx, "/api/v1/jobs", &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Result fetches a cached result by content key.
+func (c *Client) Result(ctx context.Context, key string) (*jobqueue.Result, error) {
+	var out api.ResultResponse
+	if err := c.getJSON(ctx, "/api/v1/results/"+key, &out); err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	var out api.HealthResponse
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the raw /metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metrics"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Events follows the job's SSE stream, invoking fn per event until the
+// stream ends (terminal job state), fn returns false, or ctx is done.
+func (c *Client) Events(ctx context.Context, id string, fn func(ev jobqueue.Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/api/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // "event:" lines and blank separators
+		}
+		var ev jobqueue.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("client: malformed SSE event: %w", err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+	if err := scanner.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Wait polls until the job reaches a terminal state and returns its
+// final JobInfo. Failed jobs yield an *APIError-free plain error with
+// the job's message; suspended jobs an explanatory error.
+func (c *Client) Wait(ctx context.Context, id string) (*api.JobInfo, error) {
+	tick := time.NewTicker(150 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch info.State {
+		case jobqueue.StateDone:
+			return info, nil
+		case jobqueue.StateFailed:
+			return info, fmt.Errorf("job %s failed: %s", id, info.Error)
+		case jobqueue.StateSuspended:
+			return info, fmt.Errorf("job %s suspended by server shutdown; it resumes after restart", id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

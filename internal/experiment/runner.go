@@ -148,7 +148,9 @@ type RunStats struct {
 	PacketsDelivered uint64
 	PacketsCollided  uint64
 	// FinalState is the end-of-run snapshot (nil unless CaptureFinal).
-	FinalState *checkpoint.Snapshot
+	// It is excluded from JSON so RunStats can travel over the service
+	// wire; the snapshot's StateHash is reported separately.
+	FinalState *checkpoint.Snapshot `json:"-"`
 	// Chaos holds the final per-fault-class counters of a chaos run (nil
 	// otherwise).
 	Chaos map[string]uint64

@@ -1,0 +1,542 @@
+package jobqueue
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peas/internal/checkpoint"
+	"peas/internal/experiment"
+	"peas/internal/metrics"
+	"peas/internal/node"
+	"peas/internal/oracle"
+	"peas/internal/perf"
+	"peas/internal/sim"
+)
+
+// RunStats and DeploymentSweepResult are re-exported so service wire
+// types do not force every client onto internal/experiment directly.
+type (
+	RunStats              = experiment.RunStats
+	DeploymentSweepResult = experiment.DeploymentSweepResult
+)
+
+// RunFunc executes one simulation. The pool defaults to experiment.Run;
+// tests substitute instrumented wrappers (e.g. to count underlying
+// executions for the singleflight guarantee).
+type RunFunc func(cfg experiment.RunConfig) (*experiment.RunStats, error)
+
+// Config configures a Pool.
+type Config struct {
+	// Workers bounds concurrent runs (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running (0 = 64).
+	// When the queue is full Submit fails fast with *QueueFullError.
+	QueueDepth int
+	// CacheCap bounds the result cache (0 = 1024); the oldest entry is
+	// evicted first.
+	CacheCap int
+	// StateDir, when non-empty, enables persistence: specs are written
+	// at admission and drain checkpoints at shutdown, so Recover can
+	// resume interrupted work after a restart.
+	StateDir string
+	// CheckpointEvery is the drain-checkpoint cadence in simulated
+	// seconds (0 = 250). Only meaningful with StateDir.
+	CheckpointEvery float64
+	// Run substitutes the simulation executor (nil = experiment.Run).
+	Run RunFunc
+	// Counters receives the pool's operational counters; one fresh set
+	// is allocated when nil. It is shared across all workers, which is
+	// safe because metrics.Counters synchronizes internally.
+	Counters *metrics.Counters
+	// BeforeRun, when non-nil, runs on the worker goroutine after a job
+	// is dequeued and before its simulation starts. Tests use it to
+	// hold workers at a barrier.
+	BeforeRun func(j *Job)
+}
+
+// QueueFullError is the admission-control rejection: the queue is at
+// capacity and the caller should retry after the suggested delay. The
+// HTTP layer maps it to 429 with a Retry-After header.
+type QueueFullError struct {
+	// Depth is the queue capacity that was exhausted.
+	Depth int
+	// RetryAfter is the suggested backoff, derived from the observed
+	// mean job wall time and the worker count.
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("jobqueue: queue full (%d queued); retry after %s", e.Depth, e.RetryAfter)
+}
+
+// ErrShuttingDown rejects submissions during a drain.
+var errShuttingDown = fmt.Errorf("jobqueue: shutting down")
+
+// Outcome reports how a submission was satisfied.
+type Outcome string
+
+const (
+	// OutcomeAccepted: a new underlying run was queued.
+	OutcomeAccepted Outcome = "accepted"
+	// OutcomeCoalesced: an identical run is already queued or running;
+	// the submission attached to it (same job ID).
+	OutcomeCoalesced Outcome = "coalesced"
+	// OutcomeCached: the result was served from the content-addressed
+	// cache; the returned job is already done.
+	OutcomeCached Outcome = "cached"
+)
+
+// Stats is a point-in-time view of the pool for /metrics.
+type Stats struct {
+	QueueDepth       int
+	InFlight         int
+	CacheEntries     int
+	WallSecondsTotal float64
+	Counters         map[string]uint64
+}
+
+// Pool is the worker pool plus queue, coalescing index and result cache.
+type Pool struct {
+	cfg      Config
+	run      RunFunc
+	counters *metrics.Counters
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// drainStop asks running jobs to stop at their next cooperative
+	// boundary (checkpoint capture or coverage sample).
+	drainStop atomic.Bool
+
+	mu        sync.Mutex
+	accepting bool
+	seq       int
+	jobs      map[string]*Job
+	order     []string        // job IDs in admission order
+	inflight  map[string]*Job // spec key -> queued/running job
+	cache     map[string]*Result
+	cacheSeq  []string // cache keys in insertion order, for eviction
+	queued    int
+	running   int
+	wallTotal float64
+}
+
+// New builds a pool. Call Start to launch the workers.
+func New(cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheCap <= 0 {
+		cfg.CacheCap = 1024
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 250
+	}
+	run := cfg.Run
+	if run == nil {
+		run = experiment.Run
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = metrics.NewCounters()
+	}
+	return &Pool{
+		cfg:       cfg,
+		run:       run,
+		counters:  counters,
+		queue:     make(chan *Job, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		accepting: true,
+		jobs:      make(map[string]*Job),
+		inflight:  make(map[string]*Job),
+		cache:     make(map[string]*Result),
+	}
+}
+
+// Start launches the worker goroutines.
+func (p *Pool) Start() {
+	for i := 0; i < p.cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+// Counters exposes the shared operational counter set.
+func (p *Pool) Counters() *metrics.Counters { return p.counters }
+
+// Submit admits a job. The spec is normalized in place; invalid specs
+// fail immediately. Identical in-flight submissions coalesce onto the
+// existing job, completed ones are served from the cache, and a full
+// queue rejects with *QueueFullError.
+func (p *Pool) Submit(spec *Spec) (*Job, Outcome, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, "", err
+	}
+	key := spec.Key()
+	now := time.Now()
+
+	p.mu.Lock()
+	if !p.accepting {
+		p.mu.Unlock()
+		return nil, "", errShuttingDown
+	}
+	p.counters.Add("jobs_submitted", 1)
+
+	if res, ok := p.cache[key]; ok {
+		job := p.newJobLocked(key, spec, now)
+		p.mu.Unlock()
+		p.counters.Add("cache_hits", 1)
+		job.markDone(res, now)
+		return job, OutcomeCached, nil
+	}
+	if primary, ok := p.inflight[key]; ok {
+		p.mu.Unlock()
+		p.counters.Add("jobs_coalesced", 1)
+		return primary, OutcomeCoalesced, nil
+	}
+	p.counters.Add("cache_misses", 1)
+
+	if p.queued >= p.cfg.QueueDepth {
+		retry := p.retryAfterLocked()
+		p.mu.Unlock()
+		return nil, "", &QueueFullError{Depth: p.cfg.QueueDepth, RetryAfter: retry}
+	}
+	job := p.newJobLocked(key, spec, now)
+	p.inflight[key] = job
+	p.queued++
+	p.mu.Unlock()
+
+	if err := p.persistSpec(job); err != nil {
+		// Persistence failure degrades durability, not availability:
+		// the run proceeds, it just cannot be recovered after a crash.
+		p.counters.Add("persist_errors", 1)
+	}
+	p.queue <- job // cannot block: queued < QueueDepth is checked under mu
+	return job, OutcomeAccepted, nil
+}
+
+// newJobLocked allocates and registers a job record.
+func (p *Pool) newJobLocked(key string, spec *Spec, now time.Time) *Job {
+	p.seq++
+	job := newJob(fmt.Sprintf("j-%06d", p.seq), key, spec, now)
+	p.jobs[job.ID] = job
+	p.order = append(p.order, job.ID)
+	return job
+}
+
+// retryAfterLocked estimates when a queue slot should free: the mean
+// observed job wall time scaled by the queue backlog per worker.
+func (p *Pool) retryAfterLocked() time.Duration {
+	mean := 2 * time.Second
+	if done := p.counters.Get("runs_executed"); done > 0 && p.wallTotal > 0 {
+		mean = time.Duration(p.wallTotal / float64(done) * float64(time.Second))
+	}
+	per := float64(p.queued+1) / float64(p.cfg.Workers)
+	d := time.Duration(math.Ceil(per)) * mean
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// Get returns a job by ID.
+func (p *Pool) Get(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every tracked job in admission order.
+func (p *Pool) Jobs() []*Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Job, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, p.jobs[id])
+	}
+	return out
+}
+
+// CachedResult returns the cached result for a content key.
+func (p *Pool) CachedResult(key string) (*Result, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	res, ok := p.cache[key]
+	return res, ok
+}
+
+// Stats returns the operational gauges and counter snapshot.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		QueueDepth:       p.queued,
+		InFlight:         p.running,
+		CacheEntries:     len(p.cache),
+		WallSecondsTotal: p.wallTotal,
+		Counters:         p.counters.Snapshot(),
+	}
+}
+
+// Shutdown drains the pool: no new submissions are accepted, idle
+// workers exit, and running jobs get until ctx's deadline to finish.
+// Past the deadline, runs are asked to stop at their next cooperative
+// boundary — jobs with persistence suspend with an on-disk checkpoint
+// (resumable via Recover after a restart), the rest fail. Shutdown
+// returns once every worker has exited.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.accepting {
+		p.mu.Unlock()
+		return errShuttingDown
+	}
+	p.accepting = false
+	p.mu.Unlock()
+	close(p.quit)
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		p.drainStop.Store(true)
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		// Prefer quitting over picking up more queued work, so a drain
+		// leaves not-yet-started jobs persisted instead of racing them
+		// against the deadline.
+		select {
+		case <-p.quit:
+			return
+		default:
+		}
+		select {
+		case <-p.quit:
+			return
+		case job := <-p.queue:
+			p.execute(job)
+		}
+	}
+}
+
+// execute runs one job end to end on the calling worker goroutine.
+func (p *Pool) execute(job *Job) {
+	p.mu.Lock()
+	p.queued--
+	p.running++
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.running--
+		p.mu.Unlock()
+	}()
+
+	if p.cfg.BeforeRun != nil {
+		p.cfg.BeforeRun(job)
+	}
+	job.markRunning(time.Now())
+
+	var (
+		res  *Result
+		err  error
+		snap *checkpoint.Snapshot
+	)
+	start := time.Now()
+	switch job.Spec.Kind {
+	case KindSweep:
+		res, err = p.executeSweep(job)
+	default:
+		res, snap, err = p.executeRun(job)
+	}
+	wall := time.Since(start).Seconds()
+
+	now := time.Now()
+	switch {
+	case snap != nil:
+		// Drain checkpoint: persist and suspend.
+		if perr := p.persistSnapshot(job, snap); perr != nil {
+			p.counters.Add("persist_errors", 1)
+			job.markFailed(fmt.Errorf("jobqueue: drain checkpoint: %w", perr), now)
+			p.finishJob(job, nil, wall)
+			return
+		}
+		p.counters.Add("jobs_suspended", 1)
+		job.markSuspended(now)
+		p.finishJob(job, nil, wall)
+	case err == errAbortRestartable:
+		// Interrupted chaos run: no snapshot, but the persisted spec
+		// lets Recover restart it from scratch.
+		p.counters.Add("jobs_suspended", 1)
+		job.markSuspended(now)
+		p.finishJob(job, nil, wall)
+	case err != nil:
+		p.counters.Add("jobs_failed", 1)
+		job.markFailed(err, now)
+		p.removeJobFiles(job.ID)
+		p.finishJob(job, nil, wall)
+	default:
+		res.WallSeconds = wall
+		p.counters.Add("jobs_completed", 1)
+		p.counters.Add("runs_executed", 1)
+		job.markDone(res, now)
+		p.removeJobFiles(job.ID)
+		p.finishJob(job, res, wall)
+	}
+}
+
+// finishJob updates the shared indexes after a terminal transition:
+// the in-flight (coalescing) entry is released, and successful results
+// enter the content-addressed cache.
+func (p *Pool) finishJob(job *Job, res *Result, wall float64) {
+	p.mu.Lock()
+	if p.inflight[job.Key] == job {
+		delete(p.inflight, job.Key)
+	}
+	p.wallTotal += wall
+	if res != nil {
+		if _, ok := p.cache[job.Key]; !ok {
+			p.cache[job.Key] = res
+			p.cacheSeq = append(p.cacheSeq, job.Key)
+			for len(p.cacheSeq) > p.cfg.CacheCap {
+				evict := p.cacheSeq[0]
+				p.cacheSeq = p.cacheSeq[1:]
+				delete(p.cache, evict)
+				p.counters.Add("cache_evictions", 1)
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// executeRun performs a sim or chaos job. It returns a non-nil snapshot
+// when the run was suspended at a drain checkpoint instead of finishing.
+func (p *Pool) executeRun(job *Job) (*Result, *checkpoint.Snapshot, error) {
+	spec := job.Spec
+	cfg := spec.RunConfig()
+
+	job.mu.Lock()
+	resume := job.resume
+	job.mu.Unlock()
+	if resume != nil {
+		cfg.Resume = resume
+	}
+
+	var (
+		eng     *sim.Engine
+		checker *oracle.Checker
+		aborted atomic.Bool
+		snap    *checkpoint.Snapshot
+	)
+	cfg.OnNetwork = func(net *node.Network) {
+		eng = net.Engine
+		if spec.Check {
+			checker = oracle.Attach(net, oracle.DefaultConfig())
+		}
+	}
+	checkpointable := p.cfg.StateDir != "" && spec.Kind != KindChaos
+	cfg.OnSample = func(t float64, working int, _ []float64) {
+		job.observeProgress(t, working)
+		// Non-checkpointable runs stop cooperatively at a coverage
+		// sample when a drain passes its deadline; checkpointable runs
+		// wait for the next capture boundary so they resume cleanly.
+		if !checkpointable && p.drainStop.Load() && eng != nil {
+			aborted.Store(true)
+			eng.Stop()
+		}
+	}
+	if checkpointable {
+		cfg.CheckpointEvery = p.cfg.CheckpointEvery
+		cfg.OnCheckpoint = func(s *checkpoint.Snapshot) bool {
+			if !p.drainStop.Load() {
+				return false
+			}
+			snap = s
+			return true
+		}
+	}
+
+	var meter perf.AllocMeter
+	meter.Start()
+	stats, err := p.run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	allocs := meter.Allocs()
+	if snap != nil {
+		return nil, snap, nil
+	}
+	if aborted.Load() {
+		if p.cfg.StateDir != "" {
+			// The spec file is still on disk; Recover restarts the job
+			// from scratch (chaos state cannot checkpoint).
+			return nil, nil, errAbortRestartable
+		}
+		return nil, nil, fmt.Errorf("jobqueue: job aborted by shutdown before completion")
+	}
+
+	res := &Result{Stats: stats, Chaos: stats.Chaos, Resumed: resume != nil}
+	if stats.FinalState != nil {
+		res.StateHash = stats.FinalState.StateHashHex()
+	}
+	if eng != nil {
+		res.Events = eng.Executed()
+		if res.Events > 0 {
+			res.AllocsPerEvent = float64(allocs) / float64(res.Events)
+		}
+		p.counters.Add("engine_events", res.Events)
+		p.counters.Add("heap_allocs", allocs)
+	}
+	if checker != nil {
+		res.Violations = len(checker.Violations()) + checker.Dropped()
+		if cerr := checker.Err(); cerr != nil {
+			return nil, nil, fmt.Errorf("jobqueue: invariant oracle: %w", cerr)
+		}
+	}
+	return res, nil, nil
+}
+
+// errAbortRestartable marks a chaos run interrupted by a drain whose
+// spec remains persisted; execute maps it to the suspended state.
+var errAbortRestartable = fmt.Errorf("jobqueue: aborted by shutdown; restartable from spec")
+
+// executeSweep performs a sweep job via the §5.2 deployment sweep.
+// Sweeps aggregate many runs, so they report no single StateHash and do
+// not participate in drain checkpointing — a drain waits for them.
+func (p *Pool) executeSweep(job *Job) (*Result, error) {
+	spec := job.Spec
+	res, err := experiment.DeploymentSweep(experiment.Options{
+		Runs:        spec.Sweep.Runs,
+		Seed:        spec.Network.Seed,
+		Deployments: spec.Sweep.Deployments,
+		Forwarding:  spec.Forwarding,
+		// One sweep cell at a time: concurrency is the pool's job.
+		Parallel: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sweep: res}, nil
+}

@@ -1,0 +1,455 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"peas/internal/chaos"
+	"peas/internal/experiment"
+	"peas/internal/node"
+)
+
+// testSpec is a deployment small enough that a full run takes tens of
+// milliseconds but still exercises the whole engine.
+func testSpec(seed int64) *Spec {
+	return &Spec{
+		Network:          node.DefaultConfig(40, seed),
+		FailuresPer5000s: experiment.BaseFailuresPer5000,
+		Horizon:          600,
+	}
+}
+
+// directHash runs the spec in-process, bypassing the pool, and returns
+// the final StateHash — the reference every cached/coalesced result
+// must match.
+func directHash(t *testing.T, spec *Spec) string {
+	t.Helper()
+	s := *spec
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := experiment.Run(s.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalState == nil {
+		t.Fatal("direct run captured no final state")
+	}
+	return stats.FinalState.StateHashHex()
+}
+
+func waitResult(t *testing.T, j *Job) *Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job %s: %v", j.ID, err)
+	}
+	return res
+}
+
+func TestSpecKeyCanonicalization(t *testing.T) {
+	// A minimal submission and one with the defaults spelled out mean
+	// the same simulation, so they must share a content key.
+	minimal := &Spec{Network: node.Config{N: 40, Seed: 3}, Horizon: 600}
+	explicit := &Spec{Network: node.DefaultConfig(40, 3), Horizon: 600}
+	for _, s := range []*Spec{minimal, explicit} {
+		if err := s.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if minimal.Key() != explicit.Key() {
+		t.Error("defaulted and explicit specs should share a key")
+	}
+
+	other := &Spec{Network: node.Config{N: 40, Seed: 4}, Horizon: 600}
+	if err := other.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if other.Key() == minimal.Key() {
+		t.Error("different seeds must not collide")
+	}
+
+	// An unresolved horizon normalizes to the explicit default.
+	auto := &Spec{Network: node.Config{N: 40, Seed: 3}}
+	if err := auto.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if auto.Horizon != experiment.DefaultHorizon(40) {
+		t.Errorf("horizon = %v, want resolved default", auto.Horizon)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []*Spec{
+		{}, // no N
+		{Kind: "warp", Network: node.Config{N: 4}},                       // unknown kind
+		{Kind: KindChaos, Network: node.Config{N: 4}},                    // chaos without plan
+		{Kind: KindSim, Network: node.Config{N: 4}, Sweep: &SweepSpec{}}, // sweep options on a sim job
+	}
+	for i, s := range cases {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+// TestSingleflightAndCache is the end-to-end acceptance test: N
+// concurrent submissions of one config execute exactly one underlying
+// run, and every response carries the same StateHash as a direct
+// in-process run.
+func TestSingleflightAndCache(t *testing.T) {
+	spec := testSpec(11)
+	want := directHash(t, spec)
+
+	var runs atomic.Int64
+	pool := New(Config{
+		Workers:    4,
+		QueueDepth: 16,
+		Run: func(cfg experiment.RunConfig) (*experiment.RunStats, error) {
+			runs.Add(1)
+			return experiment.Run(cfg)
+		},
+	})
+	pool.Start()
+	defer pool.Shutdown(context.Background())
+
+	const submitters = 8
+	var wg sync.WaitGroup
+	jobs := make([]*Job, submitters)
+	outcomes := make([]Outcome, submitters)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := *testSpec(11) // fresh copy per submitter
+			j, outcome, err := pool.Submit(&s)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			jobs[i] = j
+			outcomes[i] = outcome
+		}(i)
+	}
+	wg.Wait()
+
+	for i, j := range jobs {
+		if j == nil {
+			t.Fatalf("submission %d did not yield a job", i)
+		}
+		res := waitResult(t, j)
+		if res.StateHash != want {
+			t.Errorf("submission %d (%s): hash %s, want %s", i, outcomes[i], res.StateHash, want)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("underlying runs = %d, want exactly 1", got)
+	}
+
+	// A later identical submission is a pure cache hit: done instantly,
+	// same hash, still one run.
+	s := *testSpec(11)
+	j, outcome, err := pool.Submit(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeCached {
+		t.Errorf("outcome = %s, want %s", outcome, OutcomeCached)
+	}
+	if j.State() != StateDone {
+		t.Errorf("cached job state = %s, want done", j.State())
+	}
+	if res := j.Result(); res == nil || res.StateHash != want {
+		t.Errorf("cached result hash mismatch")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("cache hit triggered a run: %d", got)
+	}
+
+	stats := pool.Stats()
+	if stats.Counters["cache_hits"] == 0 {
+		t.Error("no cache hits recorded")
+	}
+	if stats.Counters["runs_executed"] != 1 {
+		t.Errorf("runs_executed = %d, want 1", stats.Counters["runs_executed"])
+	}
+}
+
+// TestQueueFullBackpressure pins admission control: with one worker held
+// at a barrier and a single queue slot occupied, the next distinct
+// submission must be rejected immediately with a retry hint.
+func TestQueueFullBackpressure(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	pool := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		BeforeRun: func(*Job) {
+			once.Do(func() { close(started) })
+			<-release
+		},
+	})
+	pool.Start()
+	defer func() {
+		pool.Shutdown(context.Background())
+	}()
+
+	j1, outcome, err := pool.Submit(testSpec(21))
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("first submit: %v (%s)", err, outcome)
+	}
+	<-started // the worker holds j1; the queue is empty again
+
+	if _, outcome, err = pool.Submit(testSpec(22)); err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("second submit should occupy the queue slot: %v (%s)", err, outcome)
+	}
+
+	_, _, err = pool.Submit(testSpec(23))
+	var full *QueueFullError
+	if !errors.As(err, &full) {
+		t.Fatalf("third submit: got %v, want QueueFullError", err)
+	}
+	if full.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %v, want >= 1s", full.RetryAfter)
+	}
+
+	// Coalescing onto the running job must still work at full queue.
+	if _, outcome, err = pool.Submit(testSpec(21)); err != nil || outcome != OutcomeCoalesced {
+		t.Fatalf("coalesce at full queue: %v (%s)", err, outcome)
+	}
+
+	close(release)
+	waitResult(t, j1)
+}
+
+// TestDrainCheckpointResume exercises the graceful-shutdown contract: a
+// run that outlives the drain deadline is checkpointed to the state dir,
+// and a fresh pool recovers it and finishes with the exact StateHash of
+// an uninterrupted run.
+func TestDrainCheckpointResume(t *testing.T) {
+	spec := testSpec(31)
+	spec.Horizon = 1500
+	want := directHash(t, spec)
+
+	dir := t.TempDir()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	pool := New(Config{
+		Workers:         1,
+		QueueDepth:      4,
+		StateDir:        dir,
+		CheckpointEvery: 200,
+		BeforeRun: func(*Job) {
+			close(started)
+			<-release
+		},
+	})
+	pool.Start()
+
+	s := *spec
+	j, _, err := pool.Submit(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Start the drain with an immediate deadline, give drainStop time to
+	// latch, then let the run begin: its first checkpoint boundary must
+	// suspend it.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- pool.Shutdown(ctx) }()
+	time.Sleep(150 * time.Millisecond)
+	close(release)
+	if err := <-done; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	if st := j.State(); st != StateSuspended {
+		t.Fatalf("job state = %s, want suspended", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, j.ID+".ckpt")); err != nil {
+		t.Fatalf("drain checkpoint not persisted: %v", err)
+	}
+
+	// Restart: a fresh pool recovers the job and resumes it to the same
+	// final state as the uninterrupted run.
+	pool2 := New(Config{Workers: 1, QueueDepth: 4, StateDir: dir, CheckpointEvery: 200})
+	n, err := pool2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	pool2.Start()
+	defer pool2.Shutdown(context.Background())
+
+	j2, ok := pool2.Get(j.ID)
+	if !ok {
+		t.Fatalf("recovered job %s not found", j.ID)
+	}
+	res := waitResult(t, j2)
+	if !res.Resumed {
+		t.Error("recovered run should report Resumed")
+	}
+	if res.StateHash != want {
+		t.Errorf("resumed hash %s, want %s (determinism across drain broken)", res.StateHash, want)
+	}
+	// Completion clears the persisted state.
+	if _, err := os.Stat(filepath.Join(dir, j.ID+".spec.json")); !os.IsNotExist(err) {
+		t.Error("spec file should be removed after completion")
+	}
+}
+
+// TestChaosJobRuns covers the chaos kind end to end: a scripted plan
+// runs under the pool, reports fault counters, and its hash matches the
+// direct run (chaos runs are deterministic per plan+seed).
+func TestChaosJobRuns(t *testing.T) {
+	plan := chaos.MixedPlan(800, 5)
+	spec := &Spec{
+		Network: node.DefaultConfig(40, 5),
+		Horizon: 800,
+		Chaos:   plan,
+	}
+	want := directHash(t, spec)
+
+	pool := New(Config{Workers: 2, QueueDepth: 4})
+	pool.Start()
+	defer pool.Shutdown(context.Background())
+
+	s := *spec
+	j, _, err := pool.Submit(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, j)
+	if res.StateHash != want {
+		t.Errorf("chaos hash %s, want %s", res.StateHash, want)
+	}
+	if len(res.Chaos) == 0 {
+		t.Error("chaos job reported no fault counters")
+	}
+}
+
+// TestCheckJobArmsOracle verifies that Check jobs attach the invariant
+// oracle and report a violation tally.
+func TestCheckJobArmsOracle(t *testing.T) {
+	spec := testSpec(41)
+	spec.Check = true
+
+	pool := New(Config{Workers: 1, QueueDepth: 4})
+	pool.Start()
+	defer pool.Shutdown(context.Background())
+
+	j, _, err := pool.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, j)
+	if res.Violations != 0 {
+		t.Errorf("healthy run reported %d violations", res.Violations)
+	}
+	if res.Events == 0 {
+		t.Error("run reported no engine events")
+	}
+}
+
+// TestSweepJob runs a tiny deployment sweep through the pool.
+func TestSweepJob(t *testing.T) {
+	spec := &Spec{
+		Kind:    KindSweep,
+		Network: node.Config{N: 30, Seed: 2},
+		Sweep:   &SweepSpec{Deployments: []int{30}, Runs: 1},
+	}
+	pool := New(Config{Workers: 1, QueueDepth: 4})
+	pool.Start()
+	defer pool.Shutdown(context.Background())
+
+	j, _, err := pool.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, j)
+	if res.Sweep == nil || len(res.Sweep.Points) != 1 {
+		t.Fatalf("sweep result = %+v", res.Sweep)
+	}
+	if res.Sweep.Points[0].N != 30 {
+		t.Errorf("sweep point N = %d", res.Sweep.Points[0].N)
+	}
+}
+
+// TestEventStream checks the SSE-facing event feed: a subscriber sees
+// started -> progress -> done in order, with monotonic progress.
+func TestEventStream(t *testing.T) {
+	pool := New(Config{Workers: 1, QueueDepth: 4})
+	pool.Start()
+	defer pool.Shutdown(context.Background())
+
+	j, _, err := pool.Submit(testSpec(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancelSub := j.Subscribe()
+	defer cancelSub()
+
+	var sawStart, sawProgress, sawDone bool
+	lastT := -1.0
+	deadline := time.After(60 * time.Second)
+	for !sawDone {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				if !sawDone {
+					t.Fatal("stream closed before done event")
+				}
+				break
+			}
+			switch ev.Type {
+			case EventQueued, EventStarted:
+				sawStart = true
+			case EventProgress:
+				sawProgress = true
+				if ev.SimT < lastT {
+					t.Errorf("progress went backwards: %v after %v", ev.SimT, lastT)
+				}
+				lastT = ev.SimT
+			case EventDone:
+				sawDone = true
+				if ev.Result == nil || ev.Result.StateHash == "" {
+					t.Error("done event carries no result hash")
+				}
+			case EventFailed:
+				t.Fatalf("job failed: %s", ev.Error)
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for events")
+		}
+	}
+	if !sawStart || !sawProgress {
+		t.Errorf("stream incomplete: start=%v progress=%v", sawStart, sawProgress)
+	}
+}
+
+func TestSubmitValidatesEarly(t *testing.T) {
+	pool := New(Config{Workers: 1, QueueDepth: 1})
+	pool.Start()
+	defer pool.Shutdown(context.Background())
+	if _, _, err := pool.Submit(&Spec{}); err == nil {
+		t.Fatal("invalid spec must be rejected at admission")
+	}
+	if _, _, err := pool.Submit(&Spec{Kind: "nope", Network: node.Config{N: 4}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown job kind") {
+		t.Fatalf("unknown kind: %v", err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package jobqueue turns the one-shot experiment runner into a
+// long-running, multi-tenant execution substrate: a bounded FIFO queue
+// feeding a fixed worker pool, with admission control (a full queue
+// rejects immediately with a retry hint instead of blocking), in-flight
+// coalescing (identical submissions attach to one underlying run), and a
+// content-addressed result cache keyed by the canonical checkpoint-codec
+// encoding of the job configuration. Because the engine is bit-exact
+// deterministic — equal configs produce equal StateHash — a cached
+// result is indistinguishable from a fresh run, which is what makes the
+// cache safe.
+//
+// The package is transport-agnostic; internal/server exposes it over
+// HTTP/JSON with SSE event streaming, and cmd/peas-serve is the binary.
+package jobqueue
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"peas/internal/chaos"
+	"peas/internal/checkpoint"
+	"peas/internal/experiment"
+	"peas/internal/node"
+)
+
+// Spec kinds. An empty kind defaults to KindSim; KindChaos is implied
+// when a chaos plan is present and KindSweep when sweep options are.
+const (
+	KindSim   = "sim"
+	KindSweep = "sweep"
+	KindChaos = "chaos"
+)
+
+// specKeyVersion is bumped whenever the canonical spec encoding changes,
+// so stale persisted state can never alias a new-format key.
+const specKeyVersion uint32 = 1
+
+// SweepSpec configures a deployment sweep job: the §5.2 varying-
+// population experiment run as one service job.
+type SweepSpec struct {
+	// Deployments lists the deployment sizes (default: the paper's
+	// 160..800).
+	Deployments []int `json:"deployments,omitempty"`
+	// Runs is the number of independent seeds averaged per point
+	// (default 5).
+	Runs int `json:"runs,omitempty"`
+}
+
+// Spec is one job submission: the full network configuration plus the
+// experiment-level knobs. It is the unit the cache key is derived from,
+// so every field that influences the simulation outcome must be covered
+// by the canonical encoding in Key.
+type Spec struct {
+	// Kind selects the job type: "sim" (default), "sweep" or "chaos".
+	Kind string `json:"kind,omitempty"`
+	// Network is the deployment configuration. Zero-valued sections
+	// (field, protocol, radio, energy profile, initial charge) are
+	// filled with the paper's defaults by Normalize, so a minimal
+	// submission only needs N and Seed.
+	Network node.Config `json:"network"`
+	// FailuresPer5000s is the injected failure rate in the paper's unit.
+	FailuresPer5000s float64 `json:"failuresPer5000s,omitempty"`
+	// Horizon bounds the simulated seconds (0 = deployment-proportional
+	// default; Normalize resolves it so the cache key is explicit).
+	Horizon float64 `json:"horizon,omitempty"`
+	// Forwarding enables the source/sink data workload.
+	Forwarding bool `json:"forwarding,omitempty"`
+	// CoverageSpacing is the coverage lattice spacing in meters (0 = 1).
+	CoverageSpacing float64 `json:"coverageSpacing,omitempty"`
+	// Check arms the runtime invariant oracle; any violation fails the
+	// job.
+	Check bool `json:"check,omitempty"`
+	// Chaos attaches a scripted fault plan (KindChaos).
+	Chaos *chaos.Plan `json:"chaos,omitempty"`
+	// Sweep holds the sweep options (KindSweep).
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+}
+
+// NewSimSpec returns a plain simulation spec with the paper's default
+// configuration for n nodes.
+func NewSimSpec(n int, seed int64) *Spec {
+	return &Spec{
+		Kind:             KindSim,
+		Network:          node.DefaultConfig(n, seed),
+		FailuresPer5000s: experiment.BaseFailuresPer5000,
+	}
+}
+
+// Normalize fills defaults in place so that two submissions that mean
+// the same simulation produce the same canonical encoding: the kind is
+// resolved, zero-valued configuration sections take the paper defaults,
+// and the horizon is made explicit. It returns an error for structurally
+// invalid specs (these are rejected at admission, before queueing).
+func (s *Spec) Normalize() error {
+	switch s.Kind {
+	case "":
+		switch {
+		case s.Chaos != nil:
+			s.Kind = KindChaos
+		case s.Sweep != nil:
+			s.Kind = KindSweep
+		default:
+			s.Kind = KindSim
+		}
+	case KindSim, KindSweep, KindChaos:
+	default:
+		return fmt.Errorf("jobqueue: unknown job kind %q", s.Kind)
+	}
+	if s.Kind == KindChaos && s.Chaos == nil {
+		return fmt.Errorf("jobqueue: chaos job without a fault plan")
+	}
+	if s.Kind != KindChaos && s.Chaos != nil {
+		return fmt.Errorf("jobqueue: fault plan on a %s job", s.Kind)
+	}
+	if s.Kind != KindSweep && s.Sweep != nil {
+		return fmt.Errorf("jobqueue: sweep options on a %s job", s.Kind)
+	}
+
+	if s.Network.N <= 0 {
+		return fmt.Errorf("jobqueue: network.N must be positive, got %d", s.Network.N)
+	}
+	def := node.DefaultConfig(s.Network.N, s.Network.Seed)
+	if s.Network.Field.Width <= 0 || s.Network.Field.Height <= 0 {
+		s.Network.Field = def.Field
+	}
+	if s.Network.Protocol == (node.Config{}).Protocol {
+		s.Network.Protocol = def.Protocol
+	}
+	if s.Network.Radio == (node.Config{}).Radio {
+		s.Network.Radio = def.Radio
+	}
+	if s.Network.Energy == (node.Config{}).Energy {
+		s.Network.Energy = def.Energy
+	}
+	if s.Network.InitialEnergyMin == 0 && s.Network.InitialEnergyMax == 0 {
+		s.Network.InitialEnergyMin = def.InitialEnergyMin
+		s.Network.InitialEnergyMax = def.InitialEnergyMax
+	}
+	if s.Network.Positions != nil && len(s.Network.Positions) != s.Network.N {
+		return fmt.Errorf("jobqueue: %d positions for %d nodes", len(s.Network.Positions), s.Network.N)
+	}
+	if s.Network.NodeSeeds != nil && len(s.Network.NodeSeeds) != s.Network.N {
+		return fmt.Errorf("jobqueue: %d node seeds for %d nodes", len(s.Network.NodeSeeds), s.Network.N)
+	}
+
+	if s.Kind != KindSweep && s.Horizon <= 0 {
+		s.Horizon = experiment.DefaultHorizon(s.Network.N)
+	}
+	if s.Chaos != nil {
+		if err := s.Chaos.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.Sweep != nil {
+		if s.Sweep.Runs < 0 {
+			return fmt.Errorf("jobqueue: negative sweep runs")
+		}
+		if s.Sweep.Runs == 0 {
+			s.Sweep.Runs = 5
+		}
+		if len(s.Sweep.Deployments) == 0 {
+			s.Sweep.Deployments = []int{160, 320, 480, 640, 800}
+		}
+		for _, n := range s.Sweep.Deployments {
+			if n <= 0 {
+				return fmt.Errorf("jobqueue: non-positive sweep deployment %d", n)
+			}
+		}
+	}
+	return nil
+}
+
+// Key returns the content address of the spec: the hex SHA-256 of its
+// canonical encoding. The network section reuses the checkpoint codec's
+// canonical config encoding (checkpoint.AppendNetConfig); the
+// experiment-level knobs are appended with the same fixed-width
+// convention; chaos and sweep sections are length-prefixed canonical
+// JSON of the normalized structs (deterministic in Go for structs
+// without maps). Call Normalize first — Key on an unnormalized spec
+// would distinguish submissions that mean the same run.
+func (s *Spec) Key() string {
+	buf := make([]byte, 0, 512)
+	buf = append(buf, "PEASJOB\x00"...)
+	buf = appendU32(buf, specKeyVersion)
+	buf = append(buf, s.Kind...)
+	buf = append(buf, 0)
+	buf = checkpoint.AppendNetConfig(buf, &s.Network)
+	buf = appendF64(buf, s.FailuresPer5000s)
+	buf = appendF64(buf, s.Horizon)
+	buf = appendBool(buf, s.Forwarding)
+	buf = appendF64(buf, s.CoverageSpacing)
+	buf = appendBool(buf, s.Check)
+	buf = appendJSONSection(buf, s.Chaos != nil, s.Chaos)
+	buf = appendJSONSection(buf, s.Sweep != nil, s.Sweep)
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}
+
+// RunConfig translates a sim or chaos spec into the experiment runner's
+// configuration. CaptureFinal is always set: the final snapshot's
+// StateHash is the identity every cached result carries.
+func (s *Spec) RunConfig() experiment.RunConfig {
+	return experiment.RunConfig{
+		Network:          s.Network,
+		FailuresPer5000s: s.FailuresPer5000s,
+		Horizon:          s.Horizon,
+		Forwarding:       s.Forwarding,
+		CoverageSpacing:  s.CoverageSpacing,
+		Chaos:            s.Chaos,
+		CaptureFinal:     true,
+	}
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func appendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func appendJSONSection(buf []byte, present bool, v any) []byte {
+	buf = appendBool(buf, present)
+	if !present {
+		return buf
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Specs are plain data structs; Marshal cannot fail on them.
+		panic(fmt.Sprintf("jobqueue: canonical encode: %v", err))
+	}
+	buf = appendU32(buf, uint32(len(data)))
+	return append(buf, data...)
+}

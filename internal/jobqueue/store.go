@@ -1,0 +1,185 @@
+package jobqueue
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"peas/internal/checkpoint"
+)
+
+// On-disk layout under Config.StateDir:
+//
+//	<id>.spec.json — the admitted job (ID, content key, normalized spec),
+//	                 written at admission, removed at completion.
+//	<id>.ckpt      — the drain checkpoint in the canonical snapshot
+//	                 codec, written when a shutdown deadline suspends
+//	                 the run.
+//
+// Recover scans the directory on boot and re-enqueues every persisted
+// job: with a .ckpt the run resumes bit-exactly from the snapshot;
+// without one it restarts from the spec.
+
+type specFile struct {
+	ID   string `json:"id"`
+	Key  string `json:"key"`
+	Spec *Spec  `json:"spec"`
+}
+
+func (p *Pool) specPath(id string) string {
+	return filepath.Join(p.cfg.StateDir, id+".spec.json")
+}
+
+func (p *Pool) ckptPath(id string) string {
+	return filepath.Join(p.cfg.StateDir, id+".ckpt")
+}
+
+// persistSpec records an admitted job for crash recovery. A no-op
+// without a state dir.
+func (p *Pool) persistSpec(job *Job) error {
+	if p.cfg.StateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(p.cfg.StateDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(specFile{ID: job.ID, Key: job.Key, Spec: job.Spec})
+	if err != nil {
+		return err
+	}
+	tmp := p.specPath(job.ID) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p.specPath(job.ID))
+}
+
+// persistSnapshot writes a drain checkpoint next to the job's spec.
+func (p *Pool) persistSnapshot(job *Job, snap *checkpoint.Snapshot) error {
+	if p.cfg.StateDir == "" {
+		return fmt.Errorf("no state dir configured")
+	}
+	if err := os.MkdirAll(p.cfg.StateDir, 0o755); err != nil {
+		return err
+	}
+	tmp := p.ckptPath(job.ID) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := snap.Encode(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p.ckptPath(job.ID))
+}
+
+// removeJobFiles clears a completed job's persisted state.
+func (p *Pool) removeJobFiles(id string) {
+	if p.cfg.StateDir == "" {
+		return
+	}
+	_ = os.Remove(p.specPath(id))
+	_ = os.Remove(p.ckptPath(id))
+}
+
+// Recover re-admits every job persisted in the state dir, resuming from
+// drain checkpoints where present. Call it after New and before (or
+// after) Start; recovered jobs keep their original IDs, and the ID
+// sequence advances past them so new submissions cannot collide. Jobs
+// beyond the queue capacity stay on disk for the next restart. It
+// returns the number of jobs re-enqueued.
+func (p *Pool) Recover() (int, error) {
+	if p.cfg.StateDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(p.cfg.StateDir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var ids []string
+	for _, ent := range entries {
+		if name, ok := strings.CutSuffix(ent.Name(), ".spec.json"); ok {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids) // admission order: IDs are zero-padded sequence numbers
+
+	recovered := 0
+	for _, id := range ids {
+		data, err := os.ReadFile(p.specPath(id))
+		if err != nil {
+			return recovered, err
+		}
+		var sf specFile
+		if err := json.Unmarshal(data, &sf); err != nil {
+			return recovered, fmt.Errorf("jobqueue: corrupt spec file %s: %w", p.specPath(id), err)
+		}
+		if sf.Spec == nil {
+			return recovered, fmt.Errorf("jobqueue: spec file %s has no spec", p.specPath(id))
+		}
+		if err := sf.Spec.Normalize(); err != nil {
+			return recovered, fmt.Errorf("jobqueue: recovering %s: %w", id, err)
+		}
+		key := sf.Spec.Key()
+
+		var snap *checkpoint.Snapshot
+		if f, err := os.Open(p.ckptPath(id)); err == nil {
+			snap, err = checkpoint.Decode(f)
+			_ = f.Close()
+			if err != nil {
+				return recovered, fmt.Errorf("jobqueue: corrupt drain checkpoint for %s: %w", id, err)
+			}
+		}
+
+		p.mu.Lock()
+		if !p.accepting || p.queued >= p.cfg.QueueDepth {
+			p.mu.Unlock()
+			break // remaining files stay for the next restart
+		}
+		if _, dup := p.inflight[key]; dup {
+			p.mu.Unlock()
+			p.removeJobFiles(id)
+			continue
+		}
+		job := newJob(id, key, sf.Spec, time.Now())
+		job.resume = snap
+		p.jobs[id] = job
+		p.order = append(p.order, id)
+		p.inflight[key] = job
+		p.queued++
+		if seq := idSequence(id); seq > p.seq {
+			p.seq = seq
+		}
+		p.mu.Unlock()
+
+		p.counters.Add("jobs_recovered", 1)
+		p.queue <- job
+		recovered++
+	}
+	return recovered, nil
+}
+
+// idSequence parses the numeric suffix of a job ID ("j-000017" -> 17).
+func idSequence(id string) int {
+	s, ok := strings.CutPrefix(id, "j-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return n
+}

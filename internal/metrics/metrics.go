@@ -4,6 +4,8 @@
 // find threshold crossings.
 package metrics
 
+import "sync"
+
 // Point is one timed observation.
 type Point struct {
 	T float64
@@ -118,11 +120,14 @@ func (s *Series) FirstAtLeast(threshold float64) (float64, bool) {
 }
 
 // Counters is an ordered set of named uint64 counters. The chaos layer
-// records one counter per fault class through it, and the CLI summaries
-// (peas-sim, peas-live, peas-chaos) render whatever is present, so every
-// substrate reports faults uniformly. Counters is not safe for concurrent
-// use; the live runtime wraps access in its own lock.
+// records one counter per fault class through it, the CLI summaries
+// (peas-sim, peas-live, peas-chaos) render whatever is present, and the
+// simulation service shares one set across its whole worker pool, so
+// every substrate reports faults and job activity uniformly. All methods
+// are safe for concurrent use: writes from simulator callbacks, live
+// transport goroutines and server workers may interleave freely.
 type Counters struct {
+	mu    sync.Mutex
 	names []string
 	vals  map[string]uint64
 }
@@ -133,20 +138,32 @@ func NewCounters() *Counters { return &Counters{vals: make(map[string]uint64)} }
 // Add increments the named counter by n, creating it at zero first. The
 // creation order is remembered and used by Names.
 func (c *Counters) Add(name string, n uint64) {
+	c.mu.Lock()
 	if _, ok := c.vals[name]; !ok {
 		c.names = append(c.names, name)
 	}
 	c.vals[name] += n
+	c.mu.Unlock()
 }
 
 // Get returns the named counter's value (zero when absent).
-func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+func (c *Counters) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
 
 // Names returns the counter names in creation order.
-func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.names...)
+}
 
 // Snapshot returns a copy of the counter values keyed by name.
 func (c *Counters) Snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[string]uint64, len(c.vals))
 	for k, v := range c.vals {
 		out[k] = v

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -117,5 +118,62 @@ func TestRatioLifetimeSemantics(t *testing.T) {
 	// 100 successes / (100 + n) < 0.9 at n = 12 -> t = 111.
 	if lt != 111 {
 		t.Errorf("lifetime = %v, want 111", lt)
+	}
+}
+
+// TestCountersConcurrent hammers one Counters value from many goroutines,
+// mixing writers with readers of every accessor. The simulation service
+// shares a single counter set across its worker pool, so this must hold
+// under -race and the totals must come out exact.
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	const (
+		writers   = 8
+		perWriter = 2000
+	)
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Add(names[(w+i)%len(names)], 1)
+			}
+		}(w)
+	}
+	// Concurrent readers exercise Get, Names and Snapshot while writes
+	// are in flight.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = c.Get("alpha")
+				_ = c.Names()
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	var total uint64
+	for _, name := range c.Names() {
+		total += c.Get(name)
+	}
+	if want := uint64(writers * perWriter); total != want {
+		t.Fatalf("lost updates: total = %d, want %d", total, want)
+	}
+	if got := len(c.Names()); got != len(names) {
+		t.Fatalf("names = %d, want %d", got, len(names))
 	}
 }

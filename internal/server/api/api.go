@@ -1,0 +1,77 @@
+// Package api defines the wire types of the simulation service. Both
+// the HTTP server (internal/server) and the typed client
+// (internal/client) speak these, so they live in a leaf package with no
+// transport dependencies.
+package api
+
+import (
+	"time"
+
+	"peas/internal/buildinfo"
+	"peas/internal/jobqueue"
+)
+
+// SubmitRequest is the POST /api/v1/jobs body: the job spec itself.
+// See jobqueue.Spec for the schema; a minimal body is
+// {"network":{"N":160,"Seed":1}}.
+type SubmitRequest = jobqueue.Spec
+
+// JobInfo is the serialized view of one job.
+type JobInfo struct {
+	ID    string         `json:"id"`
+	Key   string         `json:"key"`
+	Kind  string         `json:"kind"`
+	State jobqueue.State `json:"state"`
+	// N, Seed and Horizon summarize the spec for listings.
+	N       int     `json:"n"`
+	Seed    int64   `json:"seed"`
+	Horizon float64 `json:"horizon"`
+	// SimT and Working are the last observed progress sample.
+	SimT    float64 `json:"simT,omitempty"`
+	Working int     `json:"working,omitempty"`
+	// Error is set on failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is set on done jobs.
+	Result *jobqueue.Result `json:"result,omitempty"`
+
+	EnqueuedAt time.Time  `json:"enqueuedAt"`
+	StartedAt  *time.Time `json:"startedAt,omitempty"`
+	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+}
+
+// SubmitResponse answers a submission.
+type SubmitResponse struct {
+	// Outcome is "accepted", "coalesced" or "cached".
+	Outcome jobqueue.Outcome `json:"outcome"`
+	Job     JobInfo          `json:"job"`
+}
+
+// ErrorResponse is the JSON error body for every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds accompanies 429 responses (also sent as the
+	// Retry-After header).
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+}
+
+// JobListResponse answers GET /api/v1/jobs.
+type JobListResponse struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// ResultResponse answers GET /api/v1/results/{key}.
+type ResultResponse struct {
+	Key    string           `json:"key"`
+	Result *jobqueue.Result `json:"result"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status string         `json:"status"`
+	Build  buildinfo.Info `json:"build"`
+	// UptimeSeconds is time since the server booted.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	QueueDepth    int     `json:"queueDepth"`
+	InFlight      int     `json:"inFlight"`
+	Workers       int     `json:"workers"`
+}

@@ -1,0 +1,254 @@
+// Package server exposes the jobqueue pool over HTTP/JSON: job
+// submission with admission control (429 + Retry-After on a full
+// queue), job inspection, per-job lifecycle streaming over SSE, a
+// content-addressed result endpoint, and the operational surface
+// (/healthz, /metrics). The server owns no execution logic — it is a
+// thin, faithful transport over jobqueue semantics, which is what the
+// end-to-end cache-coherence tests pin down.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"peas/internal/buildinfo"
+	"peas/internal/jobqueue"
+	"peas/internal/server/api"
+)
+
+// Server is the HTTP face of one pool.
+type Server struct {
+	pool    *jobqueue.Pool
+	workers int
+	started time.Time
+	mux     *http.ServeMux
+}
+
+// New wires a server around a started pool. workers is reported in
+// /healthz (the pool does not expose its own configuration).
+func New(pool *jobqueue.Pool, workers int) *Server {
+	s := &Server{
+		pool:    pool,
+		workers: workers,
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/results/{key}", s.handleResult)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// jobInfo renders a job for the wire.
+func jobInfo(j *jobqueue.Job) api.JobInfo {
+	simT, working := j.Progress()
+	enq, started, finished := j.Times()
+	info := api.JobInfo{
+		ID:         j.ID,
+		Key:        j.Key,
+		Kind:       j.Spec.Kind,
+		State:      j.State(),
+		N:          j.Spec.Network.N,
+		Seed:       j.Spec.Network.Seed,
+		Horizon:    j.Spec.Horizon,
+		SimT:       simT,
+		Working:    working,
+		Result:     j.Result(),
+		EnqueuedAt: enq,
+	}
+	if err := j.Err(); err != nil {
+		info.Error = err.Error()
+	}
+	if !started.IsZero() {
+		info.StartedAt = &started
+	}
+	if !finished.IsZero() {
+		info.FinishedAt = &finished
+	}
+	return info
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobqueue.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	job, outcome, err := s.pool.Submit(&spec)
+	if err != nil {
+		var full *jobqueue.QueueFullError
+		if errors.As(err, &full) {
+			secs := int(full.RetryAfter.Round(time.Second).Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, api.ErrorResponse{
+				Error:             full.Error(),
+				RetryAfterSeconds: secs,
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if outcome == jobqueue.OutcomeCached {
+		status = http.StatusOK
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
+	writeJSON(w, status, api.SubmitResponse{Outcome: outcome, Job: jobInfo(job)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.pool.Jobs()
+	resp := api.JobListResponse{Jobs: make([]api.JobInfo, 0, len(jobs))}
+	for _, j := range jobs {
+		resp.Jobs = append(resp.Jobs, jobInfo(j))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.pool.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobInfo(job))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok := s.pool.CachedResult(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for key %q", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ResultResponse{Key: key, Result: res})
+}
+
+// handleEvents streams a job's lifecycle as Server-Sent Events: one
+// "event: <type>" / "data: <json>" pair per jobqueue.Event, ending when
+// the job reaches a terminal state or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.pool.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	events, cancel := job.Subscribe()
+	defer cancel()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	stats := s.pool.Stats()
+	writeJSON(w, http.StatusOK, api.HealthResponse{
+		Status:        "ok",
+		Build:         buildinfo.Read(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		QueueDepth:    stats.QueueDepth,
+		InFlight:      stats.InFlight,
+		Workers:       s.workers,
+	})
+}
+
+// handleMetrics renders the pool's gauges and counters in the
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	stats := s.pool.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE peas_queue_depth gauge\npeas_queue_depth %d\n", stats.QueueDepth)
+	fmt.Fprintf(w, "# TYPE peas_inflight gauge\npeas_inflight %d\n", stats.InFlight)
+	fmt.Fprintf(w, "# TYPE peas_cache_entries gauge\npeas_cache_entries %d\n", stats.CacheEntries)
+	fmt.Fprintf(w, "# TYPE peas_job_wall_seconds_total counter\npeas_job_wall_seconds_total %g\n", stats.WallSecondsTotal)
+	// The shared counter set (jobs, cache, runs, engine events, heap
+	// allocs, fault classes) in stable name order.
+	names := make([]string, 0, len(stats.Counters))
+	for name := range stats.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE peas_%s counter\npeas_%s %d\n", metricName(name), metricName(name), stats.Counters[name])
+	}
+	// Derived: allocations per engine event across all completed runs.
+	if ev := stats.Counters["engine_events"]; ev > 0 {
+		fmt.Fprintf(w, "# TYPE peas_allocs_per_event gauge\npeas_allocs_per_event %g\n",
+			float64(stats.Counters["heap_allocs"])/float64(ev))
+	}
+}
+
+// metricName sanitizes a counter name (which may be a chaos fault class
+// like "fail-stop") into a Prometheus identifier.
+func metricName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,259 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"peas/internal/client"
+	"peas/internal/experiment"
+	"peas/internal/jobqueue"
+	"peas/internal/node"
+	"peas/internal/server"
+)
+
+func testSpec(seed int64) *jobqueue.Spec {
+	return &jobqueue.Spec{
+		Network:          node.DefaultConfig(40, seed),
+		FailuresPer5000s: experiment.BaseFailuresPer5000,
+		Horizon:          600,
+	}
+}
+
+func directHash(t *testing.T, spec *jobqueue.Spec) string {
+	t.Helper()
+	s := *spec
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := experiment.Run(s.RunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.FinalState.StateHashHex()
+}
+
+// startService boots a pool + HTTP server over httptest and returns a
+// typed client plus the run counter.
+func startService(t *testing.T, cfg jobqueue.Config) (*client.Client, *atomic.Int64, *jobqueue.Pool) {
+	t.Helper()
+	var runs atomic.Int64
+	inner := cfg.Run
+	cfg.Run = func(rc experiment.RunConfig) (*experiment.RunStats, error) {
+		runs.Add(1)
+		if inner != nil {
+			return inner(rc)
+		}
+		return experiment.Run(rc)
+	}
+	pool := jobqueue.New(cfg)
+	pool.Start()
+	ts := httptest.NewServer(server.New(pool, cfg.Workers))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = pool.Shutdown(ctx)
+	})
+	return client.New(ts.URL), &runs, pool
+}
+
+// TestEndToEndSingleflight is the acceptance test over the wire: N
+// concurrent HTTP submissions of one config execute exactly one
+// underlying experiment.Run, and every response carries the StateHash
+// of a direct in-process run.
+func TestEndToEndSingleflight(t *testing.T) {
+	spec := testSpec(101)
+	want := directHash(t, spec)
+
+	c, runs, _ := startService(t, jobqueue.Config{Workers: 4, QueueDepth: 16})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const submitters = 6
+	ids := make([]string, submitters)
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := *testSpec(101)
+			resp, err := c.Submit(ctx, &s)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i] = resp.Job.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, id := range ids {
+		info, err := c.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if info.Result == nil || info.Result.StateHash != want {
+			t.Errorf("submission %d: hash mismatch (got %+v, want %s)", i, info.Result, want)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("underlying runs = %d, want exactly 1", got)
+	}
+
+	// Resubmission after completion: served from cache with the same
+	// hash, zero extra runs, and retrievable via /results/{key}.
+	s := *testSpec(101)
+	resp, err := c.Submit(ctx, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != jobqueue.OutcomeCached {
+		t.Errorf("outcome = %s, want cached", resp.Outcome)
+	}
+	if resp.Job.Result == nil || resp.Job.Result.StateHash != want {
+		t.Error("cached submission lost the hash")
+	}
+	res, err := c.Result(ctx, resp.Job.Key)
+	if err != nil {
+		t.Fatalf("results endpoint: %v", err)
+	}
+	if res.StateHash != want {
+		t.Errorf("results endpoint hash = %s, want %s", res.StateHash, want)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("cache hit reran: %d", got)
+	}
+
+	// Metrics reflect the activity.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"peas_queue_depth", "peas_runs_executed 1", "peas_cache_hits"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestEndToEndBackpressure pins the HTTP admission contract: a full
+// queue answers 429 with a Retry-After hint instead of blocking or
+// silently dropping.
+func TestEndToEndBackpressure(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	c, _, _ := startService(t, jobqueue.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		BeforeRun: func(*jobqueue.Job) {
+			once.Do(func() { close(started) })
+			<-release
+		},
+	})
+	defer close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, err := c.Submit(ctx, testSpec(201)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := c.Submit(ctx, testSpec(202)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := c.Submit(ctx, testSpec(203))
+	var retryable *client.RetryableError
+	if !errors.As(err, &retryable) {
+		t.Fatalf("overflow submit: got %v, want RetryableError", err)
+	}
+	if retryable.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %v, want >= 1s", retryable.RetryAfter)
+	}
+
+	// Identical specs still coalesce while the queue is full.
+	resp, err := c.Submit(ctx, testSpec(201))
+	if err != nil {
+		t.Fatalf("coalesce at full queue: %v", err)
+	}
+	if resp.Outcome != jobqueue.OutcomeCoalesced {
+		t.Errorf("outcome = %s, want coalesced", resp.Outcome)
+	}
+}
+
+// TestEndToEndSSE follows a job's event stream over real HTTP.
+func TestEndToEndSSE(t *testing.T) {
+	c, _, _ := startService(t, jobqueue.Config{Workers: 1, QueueDepth: 8})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	resp, err := c.Submit(ctx, testSpec(301))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress int
+	var final jobqueue.Event
+	err = c.Events(ctx, resp.Job.ID, func(ev jobqueue.Event) bool {
+		switch ev.Type {
+		case jobqueue.EventProgress:
+			progress++
+		case jobqueue.EventDone, jobqueue.EventFailed:
+			final = ev
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("event stream: %v", err)
+	}
+	if final.Type != jobqueue.EventDone {
+		t.Fatalf("final event = %+v", final)
+	}
+	if final.Result == nil || final.Result.StateHash == "" {
+		t.Error("done event carries no state hash")
+	}
+	if progress == 0 {
+		t.Error("no progress events observed")
+	}
+}
+
+// TestEndToEndHealthAndErrors covers /healthz and error mapping.
+func TestEndToEndHealthAndErrors(t *testing.T) {
+	c, _, _ := startService(t, jobqueue.Config{Workers: 2, QueueDepth: 8})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 2 {
+		t.Errorf("health = %+v", h)
+	}
+	if h.Build.GoVersion == "" {
+		t.Error("health response missing build identity")
+	}
+
+	if _, err := c.Job(ctx, "j-999999"); err == nil {
+		t.Error("missing job should 404")
+	}
+	var apiErr *client.APIError
+	if _, err := c.Job(ctx, "j-999999"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("missing job error = %v", err)
+	}
+
+	// Invalid spec -> 400 with the validation message.
+	if _, err := c.Submit(ctx, &jobqueue.Spec{}); err == nil ||
+		!strings.Contains(err.Error(), "must be positive") {
+		t.Errorf("invalid spec error = %v", err)
+	}
+}

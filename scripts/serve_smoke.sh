@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# serve_smoke.sh boots a peas-serve instance (expected to be built with
+# -race by CI), fires N concurrent identical submissions at it, and
+# asserts the control-plane contract end to end:
+#
+#   - every submission gets the same content key;
+#   - exactly one underlying run executes (singleflight + cache);
+#   - every job reports the same StateHash;
+#   - /metrics reflects the coalescing;
+#   - SIGTERM drains cleanly (exit 0).
+#
+# Usage: scripts/serve_smoke.sh <path-to-peas-serve-binary>
+set -euo pipefail
+
+BIN=${1:?usage: serve_smoke.sh <peas-serve binary>}
+ADDR=127.0.0.1:18473
+BASE=http://$ADDR
+BODY='{"network":{"N":80,"Seed":11},"horizon":900}'
+LOG=$(mktemp)
+
+"$BIN" -addr "$ADDR" -workers 2 -queue 32 >"$LOG" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 $SERVE_PID 2>/dev/null || true; cat "$LOG"' EXIT
+
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' || { echo "FAIL: /healthz"; exit 1; }
+
+# 8 concurrent identical submissions.
+CURL_PIDS=()
+for i in $(seq 1 8); do
+  curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "$BODY" "$BASE/api/v1/jobs" >"/tmp/serve_smoke_$i.json" &
+  CURL_PIDS+=($!)
+done
+wait "${CURL_PIDS[@]}"
+
+KEYS=$(sed -n 's/.*"key":"\([0-9a-f]*\)".*/\1/p' /tmp/serve_smoke_*.json | sort -u)
+[ "$(echo "$KEYS" | wc -l)" -eq 1 ] || { echo "FAIL: divergent content keys: $KEYS"; exit 1; }
+echo "content key: $KEYS"
+
+# Wait for all jobs to reach a terminal state, then compare hashes.
+for _ in $(seq 1 150); do
+  JOBS=$(curl -fsS "$BASE/api/v1/jobs")
+  PENDING=$(echo "$JOBS" | grep -c '"state":"queued"\|"state":"running"' || true)
+  [ "$PENDING" -eq 0 ] && break
+  sleep 0.2
+done
+HASHES=$(curl -fsS "$BASE/api/v1/jobs" | grep -o '"stateHash":"[0-9a-f]*"' | sort -u)
+[ "$(echo "$HASHES" | wc -l)" -eq 1 ] || { echo "FAIL: divergent state hashes: $HASHES"; exit 1; }
+echo "state hash:  $HASHES"
+
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^peas_runs_executed 1$' || {
+  echo "FAIL: expected exactly one underlying run"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | grep -q '^peas_jobs_submitted 8$' || {
+  echo "FAIL: expected 8 submissions recorded"; echo "$METRICS"; exit 1; }
+HITS=$(echo "$METRICS" | sed -n 's/^peas_cache_hits \([0-9]*\)$/\1/p')
+COALESCED=$(echo "$METRICS" | sed -n 's/^peas_jobs_coalesced \([0-9]*\)$/\1/p')
+HITS=${HITS:-0}
+COALESCED=${COALESCED:-0}
+[ $((HITS + COALESCED)) -eq 7 ] || {
+  echo "FAIL: hits($HITS) + coalesced($COALESCED) != 7"; echo "$METRICS"; exit 1; }
+echo "coalesced:   $COALESCED, cache hits: $HITS"
+
+# A repeat submission after completion is a pure cache hit.
+OUT=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$BODY" "$BASE/api/v1/jobs")
+echo "$OUT" | grep -q '"outcome":"cached"' || { echo "FAIL: repeat not cached: $OUT"; exit 1; }
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM $SERVE_PID
+wait $SERVE_PID || { echo "FAIL: non-zero exit on SIGTERM"; exit 1; }
+trap - EXIT
+grep -q 'drained cleanly' "$LOG" || { echo "FAIL: no clean drain logged"; cat "$LOG"; exit 1; }
+echo "PASS: serve smoke"
