@@ -1,0 +1,179 @@
+// Command peas-loadgen is the deterministic load generator and soak
+// harness of the simulation service. It synthesizes a seeded workload —
+// job specs with a tunable duplicate-key ratio, an SSE-follow fraction
+// and a chaos fraction — drives a peas-serve instance with it in
+// closed-loop (fixed concurrency) or open-loop (fixed arrival rate)
+// mode, and emits a machine-readable JSON report with pass/fail SLO
+// assertions: zero lost jobs, hash consistency, observed cache-hit +
+// coalesce rate within tolerance of the planned mix, and optional
+// latency bounds.
+//
+// Usage:
+//
+//	peas-loadgen -url http://127.0.0.1:8080 -jobs 200 -dup 0.3
+//	peas-loadgen -mode open -rate 100 -follow 0.5 -max-e2e-p99 2
+//	peas-loadgen -soak -serve-bin ./peas-serve -cycles 3 -state-dir /tmp/peas-soak
+//
+// Two invocations with the same -seed submit the identical multiset of
+// content keys (the report's keyMultisetHash), which is what makes the
+// observed duplicate rate assertable.
+//
+// In -soak mode the harness manages its own peas-serve child: every
+// cycle but the last SIGTERMs the server while long-horizon jobs are
+// running, forcing checkpoint-suspend; the next cycle verifies the
+// recovered jobs resume and reproduce the independently computed
+// reference StateHash. The process exits 0 iff the report passes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"peas/internal/buildinfo"
+	"peas/internal/client"
+	"peas/internal/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "peas-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8080", "service base URL (plain load mode)")
+		out     = flag.String("out", "", "write the JSON report here instead of stdout")
+		version = flag.Bool("version", false, "print version and exit")
+
+		// Workload mix.
+		seed    = flag.Int64("seed", 1, "workload seed; equal seeds submit equal key multisets")
+		jobs    = flag.Int("jobs", 100, "submissions per run")
+		dup     = flag.Float64("dup", 0.3, "duplicate-key ratio (target coalesce+cache-hit rate)")
+		follow  = flag.Float64("follow", 0.5, "fraction of jobs followed over SSE instead of polled")
+		chaosFr = flag.Float64("chaos", 0.1, "fraction of fresh specs carrying a chaos plan")
+		n       = flag.Int("n", 40, "deployment size per job")
+		horizon = flag.Float64("horizon", 600, "simulated seconds per job")
+
+		// Drive mode.
+		mode       = flag.String("mode", loadgen.ModeClosed, "closed (fixed concurrency) or open (fixed arrival rate)")
+		conc       = flag.Int("concurrency", 8, "closed-loop concurrent submitters")
+		rate       = flag.Float64("rate", 50, "open-loop arrival rate in jobs/s")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job end-to-end budget")
+		retries    = flag.Int("retries", 4, "max submit attempts per job on 429")
+
+		// SLO gates.
+		maxSubmitP99 = flag.Float64("max-submit-p99", 0, "submit-latency p99 bound in seconds (0 = off)")
+		maxE2EP99    = flag.Float64("max-e2e-p99", 0, "end-to-end latency p99 bound in seconds (0 = off)")
+		dupTol       = flag.Float64("dup-tol", 0.02, "allowed |observed - planned| duplicate-rate deviation")
+
+		// Soak mode.
+		soak      = flag.Bool("soak", false, "run drain/restart soak cycles against a managed peas-serve")
+		serveBin  = flag.String("serve-bin", "", "peas-serve binary path (required with -soak)")
+		stateDir  = flag.String("state-dir", "", "server state dir for drain persistence (default: temp dir)")
+		addr      = flag.String("addr", "127.0.0.1:18742", "managed server listen address (-soak)")
+		cycles    = flag.Int("cycles", 2, "soak submit cycles; all but the last end in a mid-run drain")
+		longJobs  = flag.Int("long-jobs", 2, "long-horizon drain-victim jobs appended to the plan (-soak)")
+		drain     = flag.Duration("drain", 150*time.Millisecond, "managed server drain budget; short so long jobs suspend (-soak)")
+		ckptEvery = flag.Float64("checkpoint-every", 50, "managed server drain-checkpoint cadence in simulated seconds (-soak)")
+		verbose   = flag.Bool("v", false, "stream harness and server logs to stderr")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("peas-loadgen"))
+		return nil
+	}
+
+	cfg := loadgen.Config{
+		Mix: loadgen.Mix{
+			Seed:           *seed,
+			Jobs:           *jobs,
+			DuplicateRatio: *dup,
+			FollowFraction: *follow,
+			ChaosFraction:  *chaosFr,
+			N:              *n,
+			Horizon:        *horizon,
+			RateHz:         *rate,
+		},
+		Mode:        *mode,
+		Concurrency: *conc,
+		Retry:       client.RetryPolicy{MaxAttempts: *retries},
+		JobTimeout:  *jobTimeout,
+		SLO: loadgen.SLO{
+			MaxSubmitP99Seconds:    *maxSubmitP99,
+			MaxE2EP99Seconds:       *maxE2EP99,
+			DuplicateRateTolerance: *dupTol,
+		},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var report any
+	var pass bool
+	if *soak {
+		if *serveBin == "" {
+			return fmt.Errorf("-soak requires -serve-bin (build it with: go build ./cmd/peas-serve)")
+		}
+		dir := *stateDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "peas-soak-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		sc := loadgen.SoakConfig{
+			Server: loadgen.ServerProc{
+				Bin:             *serveBin,
+				Addr:            *addr,
+				StateDir:        dir,
+				DrainBudget:     *drain,
+				CheckpointEvery: *ckptEvery,
+			},
+			Cycles: *cycles,
+			Load:   cfg,
+		}
+		sc.Load.Mix.LongJobs = *longJobs
+		if *verbose {
+			sc.Log = os.Stderr
+			sc.Server.Log = os.Stderr
+		}
+		rep, err := loadgen.Soak(ctx, sc)
+		if err != nil {
+			return err
+		}
+		report, pass = rep, rep.Pass
+	} else {
+		rep, err := loadgen.Run(ctx, *url, cfg)
+		if err != nil {
+			return err
+		}
+		report, pass = rep, rep.Pass
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if !pass {
+		return fmt.Errorf("SLO assertions failed (see report)")
+	}
+	return nil
+}

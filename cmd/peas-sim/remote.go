@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"peas"
 	"peas/internal/client"
@@ -29,7 +30,14 @@ func runRemote(url string, cfg peas.RunConfig, check bool) error {
 	c := client.New(url)
 	ctx := context.Background()
 
-	resp, err := c.Submit(ctx, spec)
+	// Bounded retries absorb transient saturation: each 429 is retried
+	// with the server's Retry-After hint under capped exponential
+	// backoff before giving up.
+	resp, err := c.SubmitWithRetry(ctx, spec, client.RetryPolicy{
+		OnRetry: func(attempt int, wait time.Duration) {
+			fmt.Printf("service busy (attempt %d); retrying in %s\n", attempt, wait)
+		},
+	})
 	if err != nil {
 		var retryable *client.RetryableError
 		if errors.As(err, &retryable) {

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -119,6 +120,78 @@ func (c *Client) Submit(ctx context.Context, spec *jobqueue.Spec) (*api.SubmitRe
 		return nil, err
 	}
 	return &out, nil
+}
+
+// RetryPolicy bounds SubmitWithRetry. The zero value means 4 attempts,
+// a 100ms backoff seed and a 5s per-wait cap.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of submit attempts (not retries);
+	// the first 429 consumes attempt one.
+	MaxAttempts int
+	// BaseWait seeds the exponential backoff used as a floor under the
+	// server's Retry-After hint, so a server that keeps answering with a
+	// tiny hint still sees decreasing pressure from this client.
+	BaseWait time.Duration
+	// MaxWait caps any single wait, whatever the server suggests.
+	MaxWait time.Duration
+	// OnRetry, when non-nil, observes each backoff before sleeping:
+	// attempt is the 1-based attempt that was rejected, wait the chosen
+	// delay. The load generator uses it to count retries.
+	OnRetry func(attempt int, wait time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseWait <= 0 {
+		p.BaseWait = 100 * time.Millisecond
+	}
+	if p.MaxWait <= 0 {
+		p.MaxWait = 5 * time.Second
+	}
+	return p
+}
+
+// SubmitWithRetry submits a job spec, absorbing 429 admission
+// rejections with bounded, capped-exponential backoff that honors the
+// server's Retry-After hint: each wait is max(hint, BaseWait<<attempt)
+// clamped to MaxWait. Non-retryable errors (400s, transport failures)
+// return immediately; exhausting MaxAttempts returns the last
+// *RetryableError so callers can still distinguish "busy" from
+// "broken".
+func (c *Client) SubmitWithRetry(ctx context.Context, spec *jobqueue.Spec, pol RetryPolicy) (*api.SubmitResponse, error) {
+	pol = pol.withDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := c.Submit(ctx, spec)
+		if err == nil {
+			return resp, nil
+		}
+		var retryable *RetryableError
+		if !errors.As(err, &retryable) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= pol.MaxAttempts {
+			return nil, lastErr
+		}
+		wait := retryable.RetryAfter
+		if floor := pol.BaseWait << (attempt - 1); wait < floor {
+			wait = floor
+		}
+		if wait > pol.MaxWait {
+			wait = pol.MaxWait
+		}
+		if pol.OnRetry != nil {
+			pol.OnRetry(attempt, wait)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
 }
 
 // Job fetches one job by ID.

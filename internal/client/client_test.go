@@ -1,0 +1,152 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"peas/internal/client"
+	"peas/internal/jobqueue"
+	"peas/internal/node"
+	"peas/internal/server/api"
+)
+
+func stubSpec() *jobqueue.Spec {
+	return &jobqueue.Spec{Network: node.Config{N: 40, Seed: 1}, Horizon: 600}
+}
+
+// flakyServer answers 429 (with a Retry-After hint) to the first
+// rejections submissions, then accepts. It stands in for a saturated
+// peas-serve without running any simulation.
+func flakyServer(t *testing.T, rejections int32, retryAfterSecs int) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= rejections {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(api.ErrorResponse{
+				Error:             "queue full",
+				RetryAfterSeconds: retryAfterSecs,
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(api.SubmitResponse{
+			Outcome: jobqueue.OutcomeAccepted,
+			Job:     api.JobInfo{ID: "j-000001", State: jobqueue.StateQueued},
+		})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// TestSubmitWithRetrySucceedsAfterRejections pins the retry loop: two
+// 429s then an acceptance must yield the accepted job, with exactly
+// three submit attempts and the backoff honoring the Retry-After hint
+// (capped by MaxWait so the test stays fast).
+func TestSubmitWithRetrySucceedsAfterRejections(t *testing.T) {
+	ts, calls := flakyServer(t, 2, 7)
+	c := client.New(ts.URL)
+
+	var retries []time.Duration
+	pol := client.RetryPolicy{
+		MaxAttempts: 5,
+		BaseWait:    time.Millisecond,
+		MaxWait:     5 * time.Millisecond,
+		OnRetry:     func(_ int, wait time.Duration) { retries = append(retries, wait) },
+	}
+	resp, err := c.SubmitWithRetry(context.Background(), stubSpec(), pol)
+	if err != nil {
+		t.Fatalf("SubmitWithRetry: %v", err)
+	}
+	if resp.Job.ID != "j-000001" {
+		t.Errorf("job ID = %q", resp.Job.ID)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("submit attempts = %d, want 3", got)
+	}
+	if len(retries) != 2 {
+		t.Fatalf("observed %d retries, want 2", len(retries))
+	}
+	for i, w := range retries {
+		// The 7s server hint must be clamped to MaxWait.
+		if w != 5*time.Millisecond {
+			t.Errorf("retry %d waited %v, want MaxWait clamp of 5ms", i, w)
+		}
+	}
+}
+
+// TestSubmitWithRetryExhaustsAttempts: a server that never yields must
+// produce the last RetryableError after exactly MaxAttempts tries.
+func TestSubmitWithRetryExhaustsAttempts(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, 0)
+	c := client.New(ts.URL)
+
+	pol := client.RetryPolicy{MaxAttempts: 3, BaseWait: time.Millisecond, MaxWait: 2 * time.Millisecond}
+	_, err := c.SubmitWithRetry(context.Background(), stubSpec(), pol)
+	var retryable *client.RetryableError
+	if !errors.As(err, &retryable) {
+		t.Fatalf("err = %v, want RetryableError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("submit attempts = %d, want 3", got)
+	}
+}
+
+// TestSubmitWithRetryNonRetryable: a 400 must return immediately
+// without retries.
+func TestSubmitWithRetryNonRetryable(t *testing.T) {
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: "bad spec"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL)
+	_, err := c.SubmitWithRetry(context.Background(), stubSpec(), client.RetryPolicy{})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("submit attempts = %d, want 1 (no retry on 400)", got)
+	}
+}
+
+// TestSubmitWithRetryContextCancel: cancellation during a backoff wait
+// returns promptly with the context error.
+func TestSubmitWithRetryContextCancel(t *testing.T) {
+	ts, _ := flakyServer(t, 1000, 30)
+	c := client.New(ts.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pol := client.RetryPolicy{
+		MaxAttempts: 10,
+		BaseWait:    time.Minute, // force a long wait; cancel must cut it short
+		MaxWait:     time.Minute,
+		OnRetry:     func(int, time.Duration) { cancel() },
+	}
+	start := time.Now()
+	_, err := c.SubmitWithRetry(ctx, stubSpec(), pol)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancel took %v, want prompt return", elapsed)
+	}
+}

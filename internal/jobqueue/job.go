@@ -166,6 +166,25 @@ func (j *Job) Times() (enqueued, started, finished time.Time) {
 	return j.enqueuedAt, j.startedAt, j.finishedAt
 }
 
+// QueueWait returns how long the job sat admitted-but-not-running and
+// whether it has started. Jobs still queued report the wait so far, so
+// the value is observable (and monotone) before a worker picks the job
+// up; cached submissions, which never queue, report zero.
+func (j *Job) QueueWait() (time.Duration, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.enqueuedAt.IsZero() {
+		return 0, false
+	}
+	if j.startedAt.IsZero() {
+		if j.state == StateQueued {
+			return time.Since(j.enqueuedAt), false
+		}
+		return 0, false // cached: done without ever queueing
+	}
+	return j.startedAt.Sub(j.enqueuedAt), true
+}
+
 // DroppedEvents reports how many events were discarded because a
 // subscriber's buffer was full.
 func (j *Job) DroppedEvents() uint64 {

@@ -106,6 +106,12 @@ type Pool struct {
 	run      RunFunc
 	counters *metrics.Counters
 
+	// queueWait observes admission-to-dequeue delay per executed job;
+	// runDur observes worker wall time per run. Both are histograms so
+	// the service can report tail latency (p99), not just totals.
+	queueWait *metrics.Histogram
+	runDur    *metrics.Histogram
+
 	queue chan *Job
 	quit  chan struct{}
 	wg    sync.WaitGroup
@@ -153,6 +159,8 @@ func New(cfg Config) *Pool {
 		cfg:       cfg,
 		run:       run,
 		counters:  counters,
+		queueWait: metrics.NewHistogram(),
+		runDur:    metrics.NewHistogram(),
 		queue:     make(chan *Job, cfg.QueueDepth),
 		quit:      make(chan struct{}),
 		accepting: true,
@@ -172,6 +180,15 @@ func (p *Pool) Start() {
 
 // Counters exposes the shared operational counter set.
 func (p *Pool) Counters() *metrics.Counters { return p.counters }
+
+// QueueWait exposes the queue-wait histogram: seconds between a job's
+// admission and a worker dequeuing it. Cached submissions never queue
+// and are not observed.
+func (p *Pool) QueueWait() *metrics.Histogram { return p.queueWait }
+
+// RunDuration exposes the run-duration histogram: worker wall seconds
+// per executed job (including suspended and failed runs).
+func (p *Pool) RunDuration() *metrics.Histogram { return p.runDur }
 
 // Submit admits a job. The spec is normalized in place; invalid specs
 // fail immediately. Identical in-flight submissions coalesce onto the
@@ -357,7 +374,11 @@ func (p *Pool) execute(job *Job) {
 	if p.cfg.BeforeRun != nil {
 		p.cfg.BeforeRun(job)
 	}
-	job.markRunning(time.Now())
+	dequeued := time.Now()
+	if enq, _, _ := job.Times(); !enq.IsZero() {
+		p.queueWait.Observe(dequeued.Sub(enq).Seconds())
+	}
+	job.markRunning(dequeued)
 
 	var (
 		res  *Result
@@ -372,6 +393,7 @@ func (p *Pool) execute(job *Job) {
 		res, snap, err = p.executeRun(job)
 	}
 	wall := time.Since(start).Seconds()
+	p.runDur.Observe(wall)
 
 	now := time.Now()
 	switch {

@@ -453,3 +453,121 @@ func TestSubmitValidatesEarly(t *testing.T) {
 		t.Fatalf("unknown kind: %v", err)
 	}
 }
+
+// TestCacheFIFOEvictionOrder pins the cache replacement policy: entries
+// leave in insertion order, the cache_evictions counter tracks each
+// eviction, and a re-submitted evicted key re-executes and re-enters
+// the cache at the tail.
+func TestCacheFIFOEvictionOrder(t *testing.T) {
+	pool := New(Config{Workers: 1, QueueDepth: 8, CacheCap: 2})
+	pool.Start()
+	defer pool.Shutdown(context.Background())
+
+	specs := []*Spec{testSpec(61), testSpec(62), testSpec(63)}
+	keys := make([]string, len(specs))
+	for i, spec := range specs {
+		j, outcome, err := pool.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcome != OutcomeAccepted {
+			t.Fatalf("submission %d: outcome %s, want accepted", i, outcome)
+		}
+		keys[i] = j.Key
+		waitResult(t, j)
+	}
+
+	// Three inserts through a two-entry cache: the first key (oldest)
+	// is out, the newer two are in.
+	if _, ok := pool.CachedResult(keys[0]); ok {
+		t.Error("oldest key survived eviction (not FIFO)")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := pool.CachedResult(k); !ok {
+			t.Errorf("recent key %s missing from cache", k)
+		}
+	}
+	if got := pool.Counters().Get("cache_evictions"); got != 1 {
+		t.Errorf("cache_evictions = %d, want 1", got)
+	}
+
+	// The evicted key must re-execute (a cache miss, not a hit) and its
+	// re-insertion pushes out the now-oldest entry.
+	j, outcome, err := pool.Submit(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeAccepted {
+		t.Fatalf("evicted key resubmission: outcome %s, want accepted", outcome)
+	}
+	waitResult(t, j)
+	if _, ok := pool.CachedResult(keys[1]); ok {
+		t.Error("second-oldest key survived the re-insertion eviction")
+	}
+	for _, k := range []string{keys[2], keys[0]} {
+		if _, ok := pool.CachedResult(k); !ok {
+			t.Errorf("key %s missing from cache after re-insertion", k)
+		}
+	}
+	if got := pool.Counters().Get("cache_evictions"); got != 2 {
+		t.Errorf("cache_evictions = %d, want 2", got)
+	}
+}
+
+// TestCacheEvictionConcurrent races many distinct submissions through a
+// tiny cache: whatever the finish order, the count of evictions must be
+// exactly inserts minus capacity and the cache must end at capacity.
+// Run under -race this also guards the eviction path's locking.
+func TestCacheEvictionConcurrent(t *testing.T) {
+	const (
+		submitters = 4
+		perWorker  = 6
+		cacheCap   = 4
+	)
+	pool := New(Config{Workers: 4, QueueDepth: submitters * perWorker, CacheCap: cacheCap})
+	pool.Start()
+	defer pool.Shutdown(context.Background())
+
+	var wg sync.WaitGroup
+	keys := make([][]string, submitters)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				j, _, err := pool.Submit(testSpec(int64(1000 + w*perWorker + i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				keys[w] = append(keys[w], j.Key)
+				waitResult(t, j)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	distinct := make(map[string]struct{})
+	cached := 0
+	for _, ks := range keys {
+		for _, k := range ks {
+			if _, dup := distinct[k]; dup {
+				continue
+			}
+			distinct[k] = struct{}{}
+			if _, ok := pool.CachedResult(k); ok {
+				cached++
+			}
+		}
+	}
+	if len(distinct) != submitters*perWorker {
+		t.Fatalf("expected %d distinct keys, got %d", submitters*perWorker, len(distinct))
+	}
+	if cached != cacheCap {
+		t.Errorf("%d keys still cached, want exactly the capacity %d", cached, cacheCap)
+	}
+	want := uint64(len(distinct) - cacheCap)
+	if got := pool.Counters().Get("cache_evictions"); got != want {
+		t.Errorf("cache_evictions = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,150 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+
+	"peas/internal/metrics"
+)
+
+// SLO is the pass/fail contract a load run is gated on. Zero-valued
+// latency bounds are disabled; the duplicate-rate tolerance defaults
+// to 0.02 absolute.
+type SLO struct {
+	// MaxSubmitP99Seconds bounds the 99th-percentile submit latency
+	// (request to 2xx/terminal response, including retries).
+	MaxSubmitP99Seconds float64 `json:"maxSubmitP99Seconds,omitempty"`
+	// MaxE2EP99Seconds bounds the 99th-percentile end-to-end latency
+	// (submit to observed terminal state).
+	MaxE2EP99Seconds float64 `json:"maxE2EP99Seconds,omitempty"`
+	// DuplicateRateTolerance is the allowed absolute deviation between
+	// the observed coalesced+cached rate and the planned duplicate rate.
+	DuplicateRateTolerance float64 `json:"duplicateRateTolerance,omitempty"`
+	// AllowSuspended accepts suspended terminal states (soak cycles
+	// drain the server on purpose; a plain load run treats suspension
+	// as a lost job).
+	AllowSuspended bool `json:"allowSuspended,omitempty"`
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.DuplicateRateTolerance <= 0 {
+		s.DuplicateRateTolerance = 0.02
+	}
+	return s
+}
+
+// LatencySummary is the HDR-histogram digest the report carries.
+type LatencySummary struct {
+	Count       uint64  `json:"count"`
+	MeanSeconds float64 `json:"meanSeconds"`
+	P50Seconds  float64 `json:"p50Seconds"`
+	P90Seconds  float64 `json:"p90Seconds"`
+	P99Seconds  float64 `json:"p99Seconds"`
+	MaxSeconds  float64 `json:"maxSeconds"`
+}
+
+func summarize(h *metrics.Histogram) LatencySummary {
+	qs := h.Quantiles(0.50, 0.90, 0.99)
+	return LatencySummary{
+		Count:       h.Count(),
+		MeanSeconds: h.Mean(),
+		P50Seconds:  qs[0],
+		P90Seconds:  qs[1],
+		P99Seconds:  qs[2],
+		MaxSeconds:  h.Max(),
+	}
+}
+
+// Assertion is one pass/fail SLO check with its evidence.
+type Assertion struct {
+	Name   string `json:"name"`
+	Ok     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// Report is the machine-readable outcome of one load run. Every field
+// a CI gate needs is here; Pass is the conjunction of all assertions.
+type Report struct {
+	// Workload identity.
+	Seed            int64   `json:"seed"`
+	Mode            string  `json:"mode"`
+	Jobs            int     `json:"jobs"`
+	Concurrency     int     `json:"concurrency,omitempty"`
+	RateHz          float64 `json:"rateHz,omitempty"`
+	KeyMultisetHash string  `json:"keyMultisetHash"`
+	DistinctKeys    int     `json:"distinctKeys"`
+
+	// Planned vs observed duplicate mix.
+	PlannedDuplicates     int     `json:"plannedDuplicates"`
+	PlannedDuplicateRate  float64 `json:"plannedDuplicateRate"`
+	ObservedDuplicateRate float64 `json:"observedDuplicateRate"`
+
+	// Submission outcomes.
+	Submitted     int `json:"submitted"`
+	Accepted      int `json:"accepted"`
+	Coalesced     int `json:"coalesced"`
+	Cached        int `json:"cached"`
+	SubmitRetries int `json:"submitRetries"`
+	Rejected      int `json:"rejected"`
+
+	// Terminal outcomes.
+	Done           int `json:"done"`
+	Failed         int `json:"failed"`
+	Suspended      int `json:"suspended"`
+	Interrupted    int `json:"interrupted"`
+	TimedOut       int `json:"timedOut"`
+	HashMismatches int `json:"hashMismatches"`
+	HashedKeys     int `json:"hashedKeys"`
+
+	// Latency and throughput.
+	WallSeconds          float64        `json:"wallSeconds"`
+	ThroughputJobsPerSec float64        `json:"throughputJobsPerSec"`
+	SubmitLatency        LatencySummary `json:"submitLatency"`
+	E2ELatency           LatencySummary `json:"e2eLatency"`
+
+	Assertions []Assertion `json:"assertions"`
+	Pass       bool        `json:"pass"`
+}
+
+// evaluate runs the SLO assertions over the collected outcomes and
+// fills Assertions/Pass.
+func (r *Report) evaluate(slo SLO) {
+	slo = slo.withDefaults()
+	add := func(name string, ok bool, format string, args ...any) {
+		r.Assertions = append(r.Assertions, Assertion{
+			Name: name, Ok: ok, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	lost := r.Rejected + r.TimedOut + r.Interrupted
+	if !slo.AllowSuspended {
+		lost += r.Suspended
+	}
+	add("zero-lost-jobs", lost == 0,
+		"rejected=%d timedOut=%d interrupted=%d suspended=%d (allowSuspended=%v)",
+		r.Rejected, r.TimedOut, r.Interrupted, r.Suspended, slo.AllowSuspended)
+	add("zero-failed-jobs", r.Failed == 0, "failed=%d", r.Failed)
+	add("hash-consistency", r.HashMismatches == 0,
+		"mismatches=%d over %d hashed keys", r.HashMismatches, r.HashedKeys)
+
+	dev := math.Abs(r.ObservedDuplicateRate - r.PlannedDuplicateRate)
+	add("duplicate-rate", dev <= slo.DuplicateRateTolerance,
+		"observed coalesced+cached rate %.4f vs planned %.4f (|Δ|=%.4f, tol %.4f)",
+		r.ObservedDuplicateRate, r.PlannedDuplicateRate, dev, slo.DuplicateRateTolerance)
+
+	if slo.MaxSubmitP99Seconds > 0 {
+		add("submit-p99", r.SubmitLatency.P99Seconds <= slo.MaxSubmitP99Seconds,
+			"p99 %.4fs vs bound %.4fs", r.SubmitLatency.P99Seconds, slo.MaxSubmitP99Seconds)
+	}
+	if slo.MaxE2EP99Seconds > 0 {
+		add("e2e-p99", r.E2ELatency.P99Seconds <= slo.MaxE2EP99Seconds,
+			"p99 %.4fs vs bound %.4fs", r.E2ELatency.P99Seconds, slo.MaxE2EP99Seconds)
+	}
+
+	r.Pass = true
+	for _, a := range r.Assertions {
+		if !a.Ok {
+			r.Pass = false
+		}
+	}
+}

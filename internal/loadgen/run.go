@@ -1,0 +1,449 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peas/internal/client"
+	"peas/internal/jobqueue"
+	"peas/internal/metrics"
+	"peas/internal/server/api"
+)
+
+// Run modes.
+const (
+	// ModeClosed drives the service with a fixed number of concurrent
+	// submitters, each waiting for its job's terminal state before
+	// taking the next item (throughput adapts to the server).
+	ModeClosed = "closed"
+	// ModeOpen submits at the plan's seeded Poisson arrival times
+	// regardless of completions (arrival rate is fixed; queueing shows
+	// up as latency, the production-facing regime).
+	ModeOpen = "open"
+)
+
+// Config configures one load run.
+type Config struct {
+	// Mix is the workload synthesis configuration.
+	Mix Mix
+	// Mode is ModeClosed (default) or ModeOpen.
+	Mode string
+	// Concurrency is the closed-loop submitter count (0 = 8). Open
+	// loop ignores it: every arrival gets its own goroutine.
+	Concurrency int
+	// Retry bounds SubmitWithRetry on 429s.
+	Retry client.RetryPolicy
+	// JobTimeout bounds one submission end to end (0 = 120s); a job
+	// that is not terminal by then counts as timed out — lost.
+	JobTimeout time.Duration
+	// SLO is the pass/fail contract evaluated into the report.
+	SLO SLO
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = ModeClosed
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 120 * time.Second
+	}
+	return c
+}
+
+// hashLedger records the StateHash observed per content key and flags
+// divergence. The engine is bit-exact deterministic, so two
+// observations of one key — fresh, cached, resumed after a drain, or
+// restarted from a persisted spec — must agree; a mismatch is a
+// correctness failure, not noise. The soak harness shares one ledger
+// across every cycle so reproduction is checked across restarts.
+type hashLedger struct {
+	mu         sync.Mutex
+	byKey      map[string]string
+	mismatches int
+	resumed    int
+}
+
+func newHashLedger() *hashLedger { return &hashLedger{byKey: make(map[string]string)} }
+
+// observe records one (key, hash) observation; empty hashes (stubbed
+// runs, sweep results) are ignored. It returns false on divergence.
+func (l *hashLedger) observe(key, hash string, resumed bool) bool {
+	if hash == "" {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if resumed {
+		l.resumed++
+	}
+	if prev, ok := l.byKey[key]; ok {
+		if prev != hash {
+			l.mismatches++
+			return false
+		}
+		return true
+	}
+	l.byKey[key] = hash
+	return true
+}
+
+func (l *hashLedger) stats() (keys, mismatches, resumed int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.byKey), l.mismatches, l.resumed
+}
+
+func (l *hashLedger) hashFor(key string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.byKey[key]
+	return h, ok
+}
+
+// collector aggregates per-item outcomes across submitter goroutines.
+type collector struct {
+	mu          sync.Mutex
+	accepted    int
+	coalesced   int
+	cached      int
+	rejected    int
+	done        int
+	failed      int
+	suspended   int
+	interrupted int
+	timedOut    int
+	skipped     int
+	retries     int
+
+	suspendedKeys []string
+
+	submitLat *metrics.Histogram
+	e2eLat    *metrics.Histogram
+	ledger    *hashLedger
+}
+
+func newCollector(ledger *hashLedger) *collector {
+	if ledger == nil {
+		ledger = newHashLedger()
+	}
+	return &collector{
+		submitLat: metrics.NewHistogram(),
+		e2eLat:    metrics.NewHistogram(),
+		ledger:    ledger,
+	}
+}
+
+func (c *collector) addRetry() {
+	c.mu.Lock()
+	c.retries++
+	c.mu.Unlock()
+}
+
+func (c *collector) outcome(o jobqueue.Outcome) {
+	c.mu.Lock()
+	switch o {
+	case jobqueue.OutcomeAccepted:
+		c.accepted++
+	case jobqueue.OutcomeCoalesced:
+		c.coalesced++
+	case jobqueue.OutcomeCached:
+		c.cached++
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) terminal(state jobqueue.State, key string) {
+	c.mu.Lock()
+	switch state {
+	case jobqueue.StateDone:
+		c.done++
+	case jobqueue.StateFailed:
+		c.failed++
+	case jobqueue.StateSuspended:
+		c.suspended++
+		c.suspendedKeys = append(c.suspendedKeys, key)
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) add(field *int) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}
+
+// runner executes plan items against one service instance.
+type runner struct {
+	c   *client.Client
+	cfg Config
+	col *collector
+	// halt, once set, makes submitters skip remaining items — the soak
+	// harness sets it when it SIGTERMs the server mid-cycle.
+	halt atomic.Bool
+}
+
+func newRunner(c *client.Client, cfg Config, ledger *hashLedger) *runner {
+	return &runner{c: c, cfg: cfg.withDefaults(), col: newCollector(ledger)}
+}
+
+// runPlan executes all items in the configured mode.
+func (r *runner) runPlan(ctx context.Context, items []Item) {
+	if r.cfg.Mode == ModeOpen {
+		r.runOpen(ctx, items)
+		return
+	}
+	r.runClosed(ctx, items)
+}
+
+func (r *runner) runClosed(ctx context.Context, items []Item) {
+	ch := make(chan Item)
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range ch {
+				if r.halt.Load() || ctx.Err() != nil {
+					r.col.add(&r.col.skipped)
+					continue
+				}
+				r.do(ctx, it)
+			}
+		}()
+	}
+	for _, it := range items {
+		ch <- it
+	}
+	close(ch)
+	wg.Wait()
+}
+
+func (r *runner) runOpen(ctx context.Context, items []Item) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, it := range items {
+		if r.halt.Load() || ctx.Err() != nil {
+			r.col.add(&r.col.skipped)
+			continue
+		}
+		if wait := it.Arrival - time.Since(start); wait > 0 {
+			select {
+			case <-ctx.Done():
+				r.col.add(&r.col.skipped)
+				continue
+			case <-time.After(wait):
+			}
+		}
+		wg.Add(1)
+		go func(it Item) {
+			defer wg.Done()
+			r.do(ctx, it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// do executes one planned submission end to end: submit (with bounded
+// 429 retries), then follow the job to a terminal state over SSE or by
+// polling, recording latencies, the outcome class and the StateHash.
+func (r *runner) do(ctx context.Context, it Item) {
+	jctx, cancel := context.WithTimeout(ctx, r.cfg.JobTimeout)
+	defer cancel()
+
+	pol := r.cfg.Retry
+	inner := pol.OnRetry
+	pol.OnRetry = func(attempt int, wait time.Duration) {
+		r.col.addRetry()
+		if inner != nil {
+			inner(attempt, wait)
+		}
+	}
+
+	t0 := time.Now()
+	resp, err := r.c.SubmitWithRetry(jctx, it.Spec, pol)
+	if err != nil {
+		var retryable *client.RetryableError
+		switch {
+		case errors.As(err, &retryable):
+			r.col.add(&r.col.rejected)
+		case jctx.Err() != nil && ctx.Err() == nil:
+			r.col.add(&r.col.timedOut)
+		default:
+			// Transport failure — during a soak drain this is the
+			// expected fate of in-flight submissions.
+			r.col.add(&r.col.interrupted)
+		}
+		return
+	}
+	r.col.submitLat.Observe(time.Since(t0).Seconds())
+	r.col.outcome(resp.Outcome)
+
+	if resp.Outcome == jobqueue.OutcomeCached {
+		r.col.e2eLat.Observe(time.Since(t0).Seconds())
+		r.col.terminal(jobqueue.StateDone, it.Key)
+		if res := resp.Job.Result; res != nil {
+			r.col.ledger.observe(it.Key, res.StateHash, res.Resumed)
+		}
+		return
+	}
+
+	var info *api.JobInfo
+	if it.Follow {
+		// Follow the SSE stream to its end (the terminal event closes
+		// it), then read the authoritative state once.
+		if serr := r.c.Events(jctx, resp.Job.ID, func(jobqueue.Event) bool { return true }); serr != nil && jctx.Err() == nil {
+			// Stream broke without the context expiring: server drain
+			// or restart; fall through to the poll, which classifies.
+			_ = serr
+		}
+		info, err = r.c.Job(jctx, resp.Job.ID)
+	} else {
+		info, err = r.c.Wait(jctx, resp.Job.ID)
+	}
+
+	switch {
+	case info != nil && info.State == jobqueue.StateDone:
+		r.col.e2eLat.Observe(time.Since(t0).Seconds())
+		r.col.terminal(jobqueue.StateDone, it.Key)
+		if info.Result != nil {
+			r.col.ledger.observe(it.Key, info.Result.StateHash, info.Result.Resumed)
+		}
+	case info != nil && (info.State == jobqueue.StateFailed || info.State == jobqueue.StateSuspended):
+		r.col.terminal(info.State, it.Key)
+	case info != nil && it.Follow:
+		// SSE ended but the job is still live (stream broken by a
+		// drain); fall back to polling for the remaining budget.
+		if winfo, werr := r.c.Wait(jctx, resp.Job.ID); werr == nil && winfo.State == jobqueue.StateDone {
+			r.col.e2eLat.Observe(time.Since(t0).Seconds())
+			r.col.terminal(jobqueue.StateDone, it.Key)
+			if winfo.Result != nil {
+				r.col.ledger.observe(it.Key, winfo.Result.StateHash, winfo.Result.Resumed)
+			}
+		} else if winfo != nil && (winfo.State == jobqueue.StateFailed || winfo.State == jobqueue.StateSuspended) {
+			r.col.terminal(winfo.State, it.Key)
+		} else if jctx.Err() != nil && ctx.Err() == nil {
+			r.col.add(&r.col.timedOut)
+		} else {
+			r.col.add(&r.col.interrupted)
+		}
+	case jctx.Err() != nil && ctx.Err() == nil:
+		r.col.add(&r.col.timedOut)
+	default:
+		r.col.add(&r.col.interrupted)
+	}
+}
+
+// report assembles the run report from the collected outcomes.
+// precached lists content keys already resident in the server's result
+// cache before the run started (a soak cycle's recovered jobs): their
+// first submission answers "cached" without a planned duplicate, so
+// the expected duplicate rate shifts accordingly.
+func (r *runner) report(items []Item, wall time.Duration, precached map[string]struct{}) *Report {
+	col := r.col
+	col.mu.Lock()
+	defer col.mu.Unlock()
+
+	planned := planDuplicates(items)
+	expected := planned
+	if len(precached) > 0 {
+		seen := make(map[string]struct{})
+		for _, it := range items {
+			if _, dup := seen[it.Key]; dup {
+				continue
+			}
+			seen[it.Key] = struct{}{}
+			if _, ok := precached[it.Key]; ok {
+				expected++
+			}
+		}
+	}
+
+	submitted := col.accepted + col.coalesced + col.cached
+	keys, mismatches, _ := col.ledger.stats()
+	rep := &Report{
+		Seed:            r.cfg.Mix.Seed,
+		Mode:            r.cfg.Mode,
+		Jobs:            len(items),
+		Concurrency:     r.cfg.Concurrency,
+		RateHz:          r.cfg.Mix.withDefaults().RateHz,
+		KeyMultisetHash: KeyMultisetHash(items),
+		DistinctKeys:    distinctKeys(items),
+
+		PlannedDuplicates: expected,
+
+		Submitted:     submitted,
+		Accepted:      col.accepted,
+		Coalesced:     col.coalesced,
+		Cached:        col.cached,
+		SubmitRetries: col.retries,
+		Rejected:      col.rejected,
+
+		Done:           col.done,
+		Failed:         col.failed,
+		Suspended:      col.suspended,
+		Interrupted:    col.interrupted,
+		TimedOut:       col.timedOut,
+		HashMismatches: mismatches,
+		HashedKeys:     keys,
+
+		WallSeconds:   wall.Seconds(),
+		SubmitLatency: summarize(col.submitLat),
+		E2ELatency:    summarize(col.e2eLat),
+	}
+	if rep.Jobs > 0 {
+		rep.PlannedDuplicateRate = float64(expected) / float64(rep.Jobs)
+	}
+	if submitted > 0 {
+		rep.ObservedDuplicateRate = float64(col.coalesced+col.cached) / float64(submitted)
+	}
+	if wall > 0 {
+		rep.ThroughputJobsPerSec = float64(col.done) / wall.Seconds()
+	}
+	return rep
+}
+
+// Run executes one full load run against the service at baseURL and
+// returns the evaluated report. The plan is synthesized from cfg.Mix,
+// so two calls with the same configuration submit the identical
+// multiset of content keys.
+func Run(ctx context.Context, baseURL string, cfg Config) (*Report, error) {
+	items, err := Plan(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("loadgen: empty plan")
+	}
+	r := newRunner(client.New(baseURL), cfg, nil)
+
+	// Probe the server's result cache for the plan's distinct keys
+	// before driving load: keys already resident (a prior run, a soak
+	// cycle) answer "cached" on first submission without being planned
+	// duplicates, so the duplicate-rate assertion must expect them.
+	precached := make(map[string]struct{})
+	seen := make(map[string]struct{})
+	for _, it := range items {
+		if _, dup := seen[it.Key]; dup {
+			continue
+		}
+		seen[it.Key] = struct{}{}
+		if _, err := r.c.Result(ctx, it.Key); err == nil {
+			precached[it.Key] = struct{}{}
+		} else if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+
+	t0 := time.Now()
+	r.runPlan(ctx, items)
+	rep := r.report(items, time.Since(t0), precached)
+	rep.evaluate(r.cfg.SLO)
+	return rep, nil
+}

@@ -29,6 +29,9 @@ type JobInfo struct {
 	// SimT and Working are the last observed progress sample.
 	SimT    float64 `json:"simT,omitempty"`
 	Working int     `json:"working,omitempty"`
+	// QueueWaitSeconds is the admission-to-start delay (the wait so far
+	// for jobs still queued; absent for cached submissions).
+	QueueWaitSeconds float64 `json:"queueWaitSeconds,omitempty"`
 	// Error is set on failed jobs.
 	Error string `json:"error,omitempty"`
 	// Result is set on done jobs.

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -18,6 +19,7 @@ import (
 
 	"peas/internal/buildinfo"
 	"peas/internal/jobqueue"
+	"peas/internal/metrics"
 	"peas/internal/server/api"
 )
 
@@ -80,6 +82,9 @@ func jobInfo(j *jobqueue.Job) api.JobInfo {
 	}
 	if err := j.Err(); err != nil {
 		info.Error = err.Error()
+	}
+	if wait, _ := j.QueueWait(); wait > 0 {
+		info.QueueWaitSeconds = wait.Seconds()
 	}
 	if !started.IsZero() {
 		info.StartedAt = &started
@@ -233,6 +238,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE peas_allocs_per_event gauge\npeas_allocs_per_event %g\n",
 			float64(stats.Counters["heap_allocs"])/float64(ev))
 	}
+	// Latency histograms: queue wait (admission to dequeue) and run
+	// duration (worker wall time), the two halves of server-side job
+	// latency the load-generation harness gates on.
+	writeHistogram(w, "peas_queue_wait_seconds", s.pool.QueueWait().Snapshot())
+	writeHistogram(w, "peas_run_duration_seconds", s.pool.RunDuration().Snapshot())
+}
+
+// writeHistogram renders one snapshot in the Prometheus text exposition
+// format: cumulative bucket counts over the histogram's non-empty
+// log-linear bucket bounds, plus sum and count.
+func writeHistogram(w io.Writer, name string, snap metrics.HistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for _, b := range snap.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b.UpperBound, 'g', 6, 64), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, snap.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
 }
 
 // metricName sanitizes a counter name (which may be a chaos fault class

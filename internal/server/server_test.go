@@ -257,3 +257,56 @@ func TestEndToEndHealthAndErrors(t *testing.T) {
 		t.Errorf("invalid spec error = %v", err)
 	}
 }
+
+// TestEndToEndSSELateSubscriber attaches to a job's event stream after
+// the job has already completed: the subscriber must immediately
+// receive the terminal snapshot event (with the result hash) and see
+// the stream close, not hang waiting for live events that will never
+// come.
+func TestEndToEndSSELateSubscriber(t *testing.T) {
+	c, _, _ := startService(t, jobqueue.Config{Workers: 2, QueueDepth: 8})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	spec := testSpec(71)
+	resp, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, resp.Job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The job is terminal; only now does the subscriber show up. Bound
+	// the whole stream tightly: a correct server answers with the
+	// snapshot and closes at once.
+	sctx, scancel := context.WithTimeout(ctx, 10*time.Second)
+	defer scancel()
+	var events []jobqueue.Event
+	err = c.Events(sctx, resp.Job.ID, func(ev jobqueue.Event) bool {
+		events = append(events, ev)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("late subscription did not close cleanly: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("late subscriber saw %d events, want exactly the terminal snapshot", len(events))
+	}
+	ev := events[0]
+	if ev.Type != jobqueue.EventDone {
+		t.Fatalf("late subscriber saw %q, want %q", ev.Type, jobqueue.EventDone)
+	}
+	if ev.Result == nil || ev.Result.StateHash == "" {
+		t.Error("terminal snapshot event carries no result hash")
+	}
+
+	// Same thing once more — replays must not be one-shot.
+	var again []jobqueue.Event
+	if err := c.Events(sctx, resp.Job.ID, func(ev jobqueue.Event) bool {
+		again = append(again, ev)
+		return true
+	}); err != nil || len(again) != 1 || again[0].Type != jobqueue.EventDone {
+		t.Fatalf("second late subscription: err=%v events=%d", err, len(again))
+	}
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# loadgen_soak.sh runs a short closed-loop soak of the simulation
+# service with the deterministic load generator:
+#
+#   - builds peas-serve and peas-loadgen (race-enabled by CI);
+#   - plans a seeded workload with duplicate keys, SSE followers, chaos
+#     jobs and long-horizon drain victims;
+#   - cycle 0 SIGTERMs the managed server while the long jobs run,
+#     forcing checkpoint-suspend into the state dir;
+#   - cycle 1 recovers them, verifies the resumed runs reproduce the
+#     independently computed reference StateHash, replays the full
+#     plan, and gates on the report's SLO assertions.
+#
+# The soak exits non-zero unless every assertion in the JSON report
+# passes (zero lost jobs, suspension exercised, bit-exact resume,
+# clean final drain).
+#
+# Usage: scripts/loadgen_soak.sh <peas-serve-bin> <peas-loadgen-bin>
+set -euo pipefail
+
+SERVE_BIN=${1:?usage: loadgen_soak.sh <peas-serve binary> <peas-loadgen binary>}
+LOADGEN_BIN=${2:?usage: loadgen_soak.sh <peas-serve binary> <peas-loadgen binary>}
+STATE_DIR=$(mktemp -d)
+REPORT=$(mktemp)
+trap 'rm -rf "$STATE_DIR"' EXIT
+
+"$LOADGEN_BIN" -soak \
+  -serve-bin "$SERVE_BIN" \
+  -state-dir "$STATE_DIR" \
+  -addr 127.0.0.1:18742 \
+  -cycles 2 -jobs 30 -dup 0.3 -follow 0.4 -chaos 0.15 -long-jobs 2 \
+  -out "$REPORT" -v || { echo "FAIL: soak report:"; cat "$REPORT"; exit 1; }
+
+grep -q '"pass": true' "$REPORT" || { echo "FAIL: report not passing"; cat "$REPORT"; exit 1; }
+echo "soak report:"
+cat "$REPORT"
+echo "PASS: loadgen soak"
