@@ -23,6 +23,15 @@
 // running, forcing checkpoint-suspend; the next cycle verifies the
 // recovered jobs resume and reproduce the independently computed
 // reference StateHash. The process exits 0 iff the report passes.
+//
+// In -soak-kill9 mode there is no mercy: every cycle but the last
+// SIGKILLs the managed server at seeded points mid-run — a seeded
+// delay into the submission storm, or right as drain-checkpoint files
+// start appearing, with -durable-delay widening the window so kills
+// land inside durable writes. Every boot must account for every spec
+// file present at kill time (recovered + quarantined), resumed jobs
+// must reproduce the reference StateHash, and injected-panic jobs must
+// land in failed without taking the worker pool down.
 package main
 
 import (
@@ -74,15 +83,19 @@ func run() error {
 		maxE2EP99    = flag.Float64("max-e2e-p99", 0, "end-to-end latency p99 bound in seconds (0 = off)")
 		dupTol       = flag.Float64("dup-tol", 0.02, "allowed |observed - planned| duplicate-rate deviation")
 
-		// Soak mode.
+		// Soak modes.
 		soak      = flag.Bool("soak", false, "run drain/restart soak cycles against a managed peas-serve")
-		serveBin  = flag.String("serve-bin", "", "peas-serve binary path (required with -soak)")
+		soakKill9 = flag.Bool("soak-kill9", false, "run SIGKILL crash-soak cycles against a managed peas-serve")
+		serveBin  = flag.String("serve-bin", "", "peas-serve binary path (required with -soak/-soak-kill9)")
 		stateDir  = flag.String("state-dir", "", "server state dir for drain persistence (default: temp dir)")
-		addr      = flag.String("addr", "127.0.0.1:18742", "managed server listen address (-soak)")
-		cycles    = flag.Int("cycles", 2, "soak submit cycles; all but the last end in a mid-run drain")
-		longJobs  = flag.Int("long-jobs", 2, "long-horizon drain-victim jobs appended to the plan (-soak)")
-		drain     = flag.Duration("drain", 150*time.Millisecond, "managed server drain budget; short so long jobs suspend (-soak)")
-		ckptEvery = flag.Float64("checkpoint-every", 50, "managed server drain-checkpoint cadence in simulated seconds (-soak)")
+		addr      = flag.String("addr", "127.0.0.1:18742", "managed server listen address (-soak/-soak-kill9)")
+		cycles    = flag.Int("cycles", 2, "soak submit cycles; all but the last end in a mid-run drain or kill")
+		longJobs  = flag.Int("long-jobs", 2, "long-horizon drain-victim jobs appended to the plan (-soak/-soak-kill9)")
+		panicJobs = flag.Int("panic-jobs", 1, "injected-panic jobs in the plan, expected to fail in isolation (-soak-kill9)")
+		drain     = flag.Duration("drain", 150*time.Millisecond, "managed server drain budget; short so long jobs suspend (-soak/-soak-kill9)")
+		ckptEvery = flag.Float64("checkpoint-every", 50, "managed server drain-checkpoint cadence in simulated seconds (-soak/-soak-kill9)")
+		killSeed  = flag.Int64("kill-seed", 1, "seed for the SIGKILL timing choreography (-soak-kill9)")
+		durDelay  = flag.Duration("durable-delay", 2*time.Millisecond, "managed server per-disk-op delay, widening the kill window (-soak-kill9)")
 		verbose   = flag.Bool("v", false, "stream harness and server logs to stderr")
 	)
 	flag.Parse()
@@ -118,9 +131,12 @@ func run() error {
 
 	var report any
 	var pass bool
-	if *soak {
+	if *soak || *soakKill9 {
+		if *soak && *soakKill9 {
+			return fmt.Errorf("-soak and -soak-kill9 are mutually exclusive")
+		}
 		if *serveBin == "" {
-			return fmt.Errorf("-soak requires -serve-bin (build it with: go build ./cmd/peas-serve)")
+			return fmt.Errorf("-soak/-soak-kill9 requires -serve-bin (build it with: go build ./cmd/peas-serve)")
 		}
 		dir := *stateDir
 		if dir == "" {
@@ -131,27 +147,49 @@ func run() error {
 			defer os.RemoveAll(tmp)
 			dir = tmp
 		}
-		sc := loadgen.SoakConfig{
-			Server: loadgen.ServerProc{
-				Bin:             *serveBin,
-				Addr:            *addr,
-				StateDir:        dir,
-				DrainBudget:     *drain,
-				CheckpointEvery: *ckptEvery,
-			},
-			Cycles: *cycles,
-			Load:   cfg,
+		server := loadgen.ServerProc{
+			Bin:             *serveBin,
+			Addr:            *addr,
+			StateDir:        dir,
+			DrainBudget:     *drain,
+			CheckpointEvery: *ckptEvery,
 		}
-		sc.Load.Mix.LongJobs = *longJobs
-		if *verbose {
-			sc.Log = os.Stderr
-			sc.Server.Log = os.Stderr
+		if *soakKill9 {
+			server.DurableDelay = *durDelay
+			kc := loadgen.Kill9Config{
+				Server:   server,
+				Cycles:   *cycles,
+				Load:     cfg,
+				KillSeed: *killSeed,
+			}
+			kc.Load.Mix.LongJobs = *longJobs
+			kc.Load.Mix.PanicJobs = *panicJobs
+			if *verbose {
+				kc.Log = os.Stderr
+				kc.Server.Log = os.Stderr
+			}
+			rep, err := loadgen.SoakKill9(ctx, kc)
+			if err != nil {
+				return err
+			}
+			report, pass = rep, rep.Pass
+		} else {
+			sc := loadgen.SoakConfig{
+				Server: server,
+				Cycles: *cycles,
+				Load:   cfg,
+			}
+			sc.Load.Mix.LongJobs = *longJobs
+			if *verbose {
+				sc.Log = os.Stderr
+				sc.Server.Log = os.Stderr
+			}
+			rep, err := loadgen.Soak(ctx, sc)
+			if err != nil {
+				return err
+			}
+			report, pass = rep, rep.Pass
 		}
-		rep, err := loadgen.Soak(ctx, sc)
-		if err != nil {
-			return err
-		}
-		report, pass = rep, rep.Pass
 	} else {
 		rep, err := loadgen.Run(ctx, *url, cfg)
 		if err != nil {

@@ -34,11 +34,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"peas/internal/buildinfo"
+	"peas/internal/durable"
 	"peas/internal/jobqueue"
 	"peas/internal/server"
 )
@@ -59,6 +61,7 @@ func run() error {
 		stateDir  = flag.String("state-dir", "", "persist specs and drain checkpoints here (enables resume across restarts)")
 		ckptEvery = flag.Float64("checkpoint-every", 250, "drain-checkpoint cadence in simulated seconds (with -state-dir)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+		durDelay  = flag.Duration("durable-delay", 0, "slow every state-store disk operation by this much (crash-soak test hook: widens the window a SIGKILL can land in)")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -71,12 +74,17 @@ func run() error {
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
+	var fsys durable.FS
+	if *durDelay > 0 {
+		fsys = durable.Slow(nil, *durDelay)
+	}
 	pool := jobqueue.New(jobqueue.Config{
 		Workers:         nWorkers,
 		QueueDepth:      *queue,
 		CacheCap:        *cacheCap,
 		StateDir:        *stateDir,
 		CheckpointEvery: *ckptEvery,
+		FS:              fsys,
 	})
 	if *stateDir != "" {
 		n, err := pool.Recover()
@@ -86,13 +94,25 @@ func run() error {
 		if n > 0 {
 			log.Printf("recovered %d persisted job(s) from %s", n, *stateDir)
 		}
+		counters := pool.Stats().Counters
+		if q := counters["jobs_quarantined"] + counters["checkpoints_quarantined"]; q > 0 {
+			log.Printf("quarantined %d damaged state file group(s) into %s — inspect and remove manually",
+				q, filepath.Join(*stateDir, jobqueue.QuarantineDir))
+		}
 	}
 	pool.Start()
 
+	// No global WriteTimeout: it would sever SSE streams mid-job. The
+	// handler applies per-request write deadlines instead (rolling for
+	// streams), so slow-client protection survives without breaking the
+	// event feed.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(pool, nWorkers),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
 	}
 
 	errCh := make(chan error, 1)

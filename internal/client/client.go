@@ -35,7 +35,9 @@ func New(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
 }
 
-// RetryableError reports a 429 admission rejection.
+// RetryableError reports a transient server-side rejection the caller
+// should retry after a delay: 429 (queue full) or 503 (the state store
+// cannot persist the admission right now, e.g. a full disk).
 type RetryableError struct {
 	Message    string
 	RetryAfter time.Duration
@@ -64,7 +66,7 @@ func decodeError(resp *http.Response) error {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error != "" {
 		msg = body.Error
 	}
-	if resp.StatusCode == http.StatusTooManyRequests {
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 		retry := time.Duration(body.RetryAfterSeconds) * time.Second
 		if retry == 0 {
 			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {

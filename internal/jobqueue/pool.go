@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"peas/internal/checkpoint"
+	"peas/internal/durable"
 	"peas/internal/experiment"
 	"peas/internal/metrics"
 	"peas/internal/node"
@@ -47,6 +49,12 @@ type Config struct {
 	// CheckpointEvery is the drain-checkpoint cadence in simulated
 	// seconds (0 = 250). Only meaningful with StateDir.
 	CheckpointEvery float64
+	// FS substitutes the filesystem the state store writes through
+	// (nil = the real one). Tests inject a durable.FaultFS to exercise
+	// ENOSPC, torn writes and crash points; peas-serve injects a slowed
+	// FS under -durable-delay so the crash-soak harness can land SIGKILLs
+	// inside write windows.
+	FS durable.FS
 	// Run substitutes the simulation executor (nil = experiment.Run).
 	Run RunFunc
 	// Counters receives the pool's operational counters; one fresh set
@@ -76,6 +84,22 @@ func (e *QueueFullError) Error() string {
 
 // ErrShuttingDown rejects submissions during a drain.
 var errShuttingDown = fmt.Errorf("jobqueue: shutting down")
+
+// PersistError is the admission-time durability rejection: the pool
+// could not fsync the job's spec to the state store, so accepting the
+// job would promise a recovery guarantee it cannot keep. The submission
+// is rolled back and the caller should retry once the disk recovers
+// (the HTTP layer maps it to 503 with a Retry-After header). Unwrap
+// exposes the underlying disk error (e.g. ENOSPC).
+type PersistError struct {
+	Err error
+}
+
+func (e *PersistError) Error() string {
+	return fmt.Sprintf("jobqueue: cannot persist job spec: %v", e.Err)
+}
+
+func (e *PersistError) Unwrap() error { return e.Err }
 
 // Outcome reports how a submission was satisfied.
 type Outcome string
@@ -232,13 +256,39 @@ func (p *Pool) Submit(spec *Spec) (*Job, Outcome, error) {
 	p.queued++
 	p.mu.Unlock()
 
+	// Persist BEFORE the job becomes runnable. Accepted must mean
+	// recoverable: once a worker can dequeue the job, a crash has to find
+	// its spec on disk, so a persistence failure rolls the admission back
+	// and rejects with *PersistError instead of accepting work that a
+	// crash would silently lose.
 	if err := p.persistSpec(job); err != nil {
-		// Persistence failure degrades durability, not availability:
-		// the run proceeds, it just cannot be recovered after a crash.
 		p.counters.Add("persist_errors", 1)
+		p.rollbackAdmission(job, err)
+		return nil, "", &PersistError{Err: err}
 	}
 	p.queue <- job // cannot block: queued < QueueDepth is checked under mu
 	return job, OutcomeAccepted, nil
+}
+
+// rollbackAdmission withdraws a job that was registered but never made
+// runnable. Coalesced submissions may have attached to it during the
+// unlocked persist window, so the job is failed (resolving any waiters)
+// before its index entries are removed.
+func (p *Pool) rollbackAdmission(job *Job, cause error) {
+	job.markFailed(&PersistError{Err: cause}, time.Now())
+	p.mu.Lock()
+	if p.inflight[job.Key] == job {
+		delete(p.inflight, job.Key)
+	}
+	delete(p.jobs, job.ID)
+	for i := len(p.order) - 1; i >= 0; i-- {
+		if p.order[i] == job.ID {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	p.queued--
+	p.mu.Unlock()
 }
 
 // newJobLocked allocates and registers a job record.
@@ -386,12 +436,7 @@ func (p *Pool) execute(job *Job) {
 		snap *checkpoint.Snapshot
 	)
 	start := time.Now()
-	switch job.Spec.Kind {
-	case KindSweep:
-		res, err = p.executeSweep(job)
-	default:
-		res, snap, err = p.executeRun(job)
-	}
+	res, snap, err = p.runGuarded(job)
 	wall := time.Since(start).Seconds()
 	p.runDur.Observe(wall)
 
@@ -427,6 +472,32 @@ func (p *Pool) execute(job *Job) {
 		p.removeJobFiles(job.ID)
 		p.finishJob(job, res, wall)
 	}
+}
+
+// runGuarded dispatches the job to its executor behind a panic
+// barrier. A panicking run — a simulation bug, a poisoned spec, the
+// injected Spec.Panic fault — must cost exactly one job, not the
+// worker goroutine (an unrecovered panic would kill the whole daemon):
+// the job fails with the stack in its error, and the pool keeps
+// serving.
+func (p *Pool) runGuarded(job *Job) (res *Result, snap *checkpoint.Snapshot, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.counters.Add("jobs_panicked", 1)
+			res, snap = nil, nil
+			err = fmt.Errorf("jobqueue: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if job.Spec.Panic {
+		panic("injected panic (spec.panic): crash-soak panic-isolation probe")
+	}
+	switch job.Spec.Kind {
+	case KindSweep:
+		res, err = p.executeSweep(job)
+	default:
+		res, snap, err = p.executeRun(job)
+	}
+	return res, snap, err
 }
 
 // finishJob updates the shared indexes after a terminal transition:

@@ -37,7 +37,8 @@ const (
 
 // specKeyVersion is bumped whenever the canonical spec encoding changes,
 // so stale persisted state can never alias a new-format key.
-const specKeyVersion uint32 = 1
+// v2: the Panic fault-injection flag joined the encoding.
+const specKeyVersion uint32 = 2
 
 // SweepSpec configures a deployment sweep job: the §5.2 varying-
 // population experiment run as one service job.
@@ -78,6 +79,13 @@ type Spec struct {
 	Chaos *chaos.Plan `json:"chaos,omitempty"`
 	// Sweep holds the sweep options (KindSweep).
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Panic is service-level fault injection: the job's worker panics
+	// instead of running the simulation. It exists so crash-soak
+	// harnesses can prove panic isolation end to end — the job must land
+	// in the failed state with the stack in its error while the pool and
+	// daemon survive. It participates in the content key like any other
+	// field (a panic job must never alias a real run's cached result).
+	Panic bool `json:"panic,omitempty"`
 }
 
 // NewSimSpec returns a plain simulation spec with the paper's default
@@ -196,6 +204,7 @@ func (s *Spec) Key() string {
 	buf = appendBool(buf, s.Check)
 	buf = appendJSONSection(buf, s.Chaos != nil, s.Chaos)
 	buf = appendJSONSection(buf, s.Sweep != nil, s.Sweep)
+	buf = appendBool(buf, s.Panic)
 	sum := sha256.Sum256(buf)
 	return hex.EncodeToString(sum[:])
 }

@@ -69,6 +69,12 @@ type Mix struct {
 	// multi-second window to observe the job running and SIGTERM the
 	// server mid-run.
 	LongN int `json:"longN,omitempty"`
+	// PanicJobs inserts this many distinct jobs carrying the injected
+	// Spec.Panic fault between the normal and the long jobs (0 = none).
+	// The crash-soak harness uses them to prove panic isolation: each
+	// must land in the failed state with a stack trace while the worker
+	// pool keeps executing everything around it.
+	PanicJobs int `json:"panicJobs,omitempty"`
 }
 
 func (m Mix) withDefaults() Mix {
@@ -108,6 +114,9 @@ type Item struct {
 	Follow bool
 	// Long marks a long-horizon drain-victim job (soak mode).
 	Long bool
+	// Panic marks an injected-panic job: it is expected to fail (with
+	// the panic stack in its error) rather than complete.
+	Panic bool
 	// Arrival is the open-loop arrival offset from the run start.
 	Arrival time.Duration
 }
@@ -173,6 +182,21 @@ func Plan(mix Mix) ([]Item, error) {
 		}
 		items = append(items, it)
 	}
+	for i := 0; i < mix.PanicJobs; i++ {
+		arrival += time.Duration(rng.Exp(mix.RateHz) * float64(time.Second))
+		spec := &jobqueue.Spec{
+			Network:          node.DefaultConfig(mix.N, rng.Int63()),
+			FailuresPer5000s: experiment.BaseFailuresPer5000,
+			Horizon:          mix.Horizon,
+			Panic:            true,
+		}
+		if err := spec.Normalize(); err != nil {
+			return nil, fmt.Errorf("loadgen: synthesized invalid panic spec: %w", err)
+		}
+		items = append(items, Item{
+			Index: len(items), Spec: spec, Key: spec.Key(), Panic: true, Arrival: arrival,
+		})
+	}
 	for i := 0; i < mix.LongJobs; i++ {
 		arrival += time.Duration(rng.Exp(mix.RateHz) * float64(time.Second))
 		m, err := mint(mix.LongN, mix.LongHorizon, true)
@@ -180,10 +204,21 @@ func Plan(mix Mix) ([]Item, error) {
 			return nil, err
 		}
 		items = append(items, Item{
-			Index: mix.Jobs + i, Spec: m.spec, Key: m.key, Long: true, Arrival: arrival,
+			Index: len(items), Spec: m.spec, Key: m.key, Long: true, Arrival: arrival,
 		})
 	}
 	return items, nil
+}
+
+// planPanicJobs counts the planned injected-panic submissions.
+func planPanicJobs(items []Item) int {
+	n := 0
+	for _, it := range items {
+		if it.Panic {
+			n++
+		}
+	}
+	return n
 }
 
 // KeyMultisetHash is the reproducibility witness of a plan: the hex

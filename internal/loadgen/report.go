@@ -78,6 +78,10 @@ type Report struct {
 	PlannedDuplicates     int     `json:"plannedDuplicates"`
 	PlannedDuplicateRate  float64 `json:"plannedDuplicateRate"`
 	ObservedDuplicateRate float64 `json:"observedDuplicateRate"`
+	// PlannedPanicJobs counts the injected-panic submissions in the
+	// plan; each is expected to fail (panic isolation) and is tallied in
+	// PanicFailed, never in Failed.
+	PlannedPanicJobs int `json:"plannedPanicJobs,omitempty"`
 
 	// Submission outcomes.
 	Submitted     int `json:"submitted"`
@@ -90,6 +94,7 @@ type Report struct {
 	// Terminal outcomes.
 	Done           int `json:"done"`
 	Failed         int `json:"failed"`
+	PanicFailed    int `json:"panicFailed,omitempty"`
 	Suspended      int `json:"suspended"`
 	Interrupted    int `json:"interrupted"`
 	TimedOut       int `json:"timedOut"`
@@ -123,7 +128,14 @@ func (r *Report) evaluate(slo SLO) {
 	add("zero-lost-jobs", lost == 0,
 		"rejected=%d timedOut=%d interrupted=%d suspended=%d (allowSuspended=%v)",
 		r.Rejected, r.TimedOut, r.Interrupted, r.Suspended, slo.AllowSuspended)
-	add("zero-failed-jobs", r.Failed == 0, "failed=%d", r.Failed)
+	add("zero-failed-jobs", r.Failed == 0, "failed=%d (expected panic failures tallied separately: %d)", r.Failed, r.PanicFailed)
+	if r.PlannedPanicJobs > 0 && !slo.AllowSuspended {
+		// Only gated on undisturbed runs: a cycle killed mid-flight may
+		// never have submitted its panic jobs.
+		add("panic-containment", r.PanicFailed == r.PlannedPanicJobs,
+			"panicFailed=%d of %d planned injected-panic jobs landed failed (pool survived: surrounding jobs completed)",
+			r.PanicFailed, r.PlannedPanicJobs)
+	}
 	add("hash-consistency", r.HashMismatches == 0,
 		"mismatches=%d over %d hashed keys", r.HashMismatches, r.HashedKeys)
 

@@ -116,6 +116,7 @@ type collector struct {
 	rejected    int
 	done        int
 	failed      int
+	panicFailed int
 	suspended   int
 	interrupted int
 	timedOut    int
@@ -159,16 +160,22 @@ func (c *collector) outcome(o jobqueue.Outcome) {
 	c.mu.Unlock()
 }
 
-func (c *collector) terminal(state jobqueue.State, key string) {
+func (c *collector) terminal(state jobqueue.State, it Item) {
 	c.mu.Lock()
 	switch state {
 	case jobqueue.StateDone:
 		c.done++
 	case jobqueue.StateFailed:
-		c.failed++
+		// A planned injected-panic job failing is the expected outcome
+		// (panic isolation working); anything else failing is a defect.
+		if it.Panic {
+			c.panicFailed++
+		} else {
+			c.failed++
+		}
 	case jobqueue.StateSuspended:
 		c.suspended++
-		c.suspendedKeys = append(c.suspendedKeys, key)
+		c.suspendedKeys = append(c.suspendedKeys, it.Key)
 	}
 	c.mu.Unlock()
 }
@@ -287,7 +294,7 @@ func (r *runner) do(ctx context.Context, it Item) {
 
 	if resp.Outcome == jobqueue.OutcomeCached {
 		r.col.e2eLat.Observe(time.Since(t0).Seconds())
-		r.col.terminal(jobqueue.StateDone, it.Key)
+		r.col.terminal(jobqueue.StateDone, it)
 		if res := resp.Job.Result; res != nil {
 			r.col.ledger.observe(it.Key, res.StateHash, res.Resumed)
 		}
@@ -311,23 +318,23 @@ func (r *runner) do(ctx context.Context, it Item) {
 	switch {
 	case info != nil && info.State == jobqueue.StateDone:
 		r.col.e2eLat.Observe(time.Since(t0).Seconds())
-		r.col.terminal(jobqueue.StateDone, it.Key)
+		r.col.terminal(jobqueue.StateDone, it)
 		if info.Result != nil {
 			r.col.ledger.observe(it.Key, info.Result.StateHash, info.Result.Resumed)
 		}
 	case info != nil && (info.State == jobqueue.StateFailed || info.State == jobqueue.StateSuspended):
-		r.col.terminal(info.State, it.Key)
+		r.col.terminal(info.State, it)
 	case info != nil && it.Follow:
 		// SSE ended but the job is still live (stream broken by a
 		// drain); fall back to polling for the remaining budget.
 		if winfo, werr := r.c.Wait(jctx, resp.Job.ID); werr == nil && winfo.State == jobqueue.StateDone {
 			r.col.e2eLat.Observe(time.Since(t0).Seconds())
-			r.col.terminal(jobqueue.StateDone, it.Key)
+			r.col.terminal(jobqueue.StateDone, it)
 			if winfo.Result != nil {
 				r.col.ledger.observe(it.Key, winfo.Result.StateHash, winfo.Result.Resumed)
 			}
 		} else if winfo != nil && (winfo.State == jobqueue.StateFailed || winfo.State == jobqueue.StateSuspended) {
-			r.col.terminal(winfo.State, it.Key)
+			r.col.terminal(winfo.State, it)
 		} else if jctx.Err() != nil && ctx.Err() == nil {
 			r.col.add(&r.col.timedOut)
 		} else {
@@ -377,6 +384,7 @@ func (r *runner) report(items []Item, wall time.Duration, precached map[string]s
 		DistinctKeys:    distinctKeys(items),
 
 		PlannedDuplicates: expected,
+		PlannedPanicJobs:  planPanicJobs(items),
 
 		Submitted:     submitted,
 		Accepted:      col.accepted,
@@ -387,6 +395,7 @@ func (r *runner) report(items []Item, wall time.Duration, precached map[string]s
 
 		Done:           col.done,
 		Failed:         col.failed,
+		PanicFailed:    col.panicFailed,
 		Suspended:      col.suspended,
 		Interrupted:    col.interrupted,
 		TimedOut:       col.timedOut,

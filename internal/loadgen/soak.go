@@ -36,6 +36,11 @@ type ServerProc struct {
 	// seconds (0 = 50: long jobs reach a suspend boundary within
 	// milliseconds of wall time).
 	CheckpointEvery float64
+	// DurableDelay, when positive, is passed as the server's
+	// -durable-delay flag: every state-store disk operation sleeps this
+	// long, widening the window a SIGKILL can land inside a durable
+	// write (the kill9 soak's whole point).
+	DurableDelay time.Duration
 	// Log receives the child's stdout/stderr (nil = discard).
 	Log io.Writer
 
@@ -72,14 +77,18 @@ func (s *ServerProc) Start(ctx context.Context) error {
 	if s.StateDir == "" {
 		return fmt.Errorf("loadgen: soak requires a state dir")
 	}
-	cmd := exec.Command(s.Bin,
+	args := []string{
 		"-addr", s.Addr,
 		"-workers", strconv.Itoa(s.Workers),
 		"-queue", strconv.Itoa(s.Queue),
 		"-state-dir", s.StateDir,
 		"-drain", s.DrainBudget.String(),
 		"-checkpoint-every", strconv.FormatFloat(s.CheckpointEvery, 'g', -1, 64),
-	)
+	}
+	if s.DurableDelay > 0 {
+		args = append(args, "-durable-delay", s.DurableDelay.String())
+	}
+	cmd := exec.Command(s.Bin, args...)
 	cmd.Stdout = s.Log
 	cmd.Stderr = s.Log
 	if err := cmd.Start(); err != nil {
@@ -130,6 +139,29 @@ func (s *ServerProc) Stop(timeout time.Duration) error {
 		s.cmd = nil
 		return fmt.Errorf("loadgen: server did not drain within %s; killed", timeout)
 	}
+}
+
+// Signal sends sig to the running child without waiting for it.
+func (s *ServerProc) Signal(sig os.Signal) error {
+	if s.cmd == nil || s.cmd.Process == nil {
+		return fmt.Errorf("loadgen: server not running")
+	}
+	return s.cmd.Process.Signal(sig)
+}
+
+// Kill SIGKILLs the child — no drain, no checkpoint, the crash the
+// kill9 soak exists to inflict — and reaps it. The child's non-zero
+// exit is the expected outcome, not an error; a child that already
+// exited (e.g. a SIGTERM drain finishing before the kill landed) is
+// reaped the same way.
+func (s *ServerProc) Kill() error {
+	if s.cmd == nil || s.cmd.Process == nil {
+		return fmt.Errorf("loadgen: server not running")
+	}
+	_ = s.cmd.Process.Kill()
+	_ = s.cmd.Wait()
+	s.cmd = nil
+	return nil
 }
 
 // SoakConfig configures a drain/restart soak.
@@ -287,6 +319,10 @@ func Soak(ctx context.Context, sc SoakConfig) (*SoakReport, error) {
 	rep.HashMismatches = mismatches
 	unresolved := make(map[string]struct{})
 	for _, it := range items {
+		// Panic jobs are designed to fail — they never produce a hash.
+		if it.Panic {
+			continue
+		}
 		if _, ok := ledger.hashFor(it.Key); !ok {
 			unresolved[it.Key] = struct{}{}
 		}
@@ -339,11 +375,11 @@ func runSoakCycle(ctx context.Context, proc *ServerProc, sc SoakConfig, items []
 	// accounted for (and so the final cycle knows which keys are
 	// already cached).
 	precached := make(map[string]struct{})
-	var err error
-	res.Recovered, res.ResumedDone, res.RestartedDone, err = resolveRecovered(ctx, c, ledger, precached)
+	rs, err := resolveRecovered(ctx, c, ledger, precached, nil)
 	if err != nil {
 		return res, nil, err
 	}
+	res.Recovered, res.ResumedDone, res.RestartedDone = rs.Recovered, rs.ResumedDone, rs.RestartedDone
 
 	runCfg := sc.Load
 	if final {
@@ -389,19 +425,35 @@ func runSoakCycle(ctx context.Context, proc *ServerProc, sc SoakConfig, items []
 	return res, cycleRep, nil
 }
 
+// recoveredStats summarizes the recovered-job resolution at one boot.
+type recoveredStats struct {
+	// Recovered is the job count the fresh server re-admitted at boot.
+	Recovered int
+	// ResumedDone completed from a drain checkpoint; RestartedDone
+	// completed from their spec alone.
+	ResumedDone   int
+	RestartedDone int
+	// PanicFailed counts recovered jobs that failed but whose key is an
+	// injected-panic spec: the expected outcome, not a loss.
+	PanicFailed int
+}
+
 // resolveRecovered waits for every job the fresh server re-admitted at
 // boot to reach a terminal state, feeding their hashes to the ledger.
 // Keys of completed recovered jobs are added to precached: their
-// results now sit in this server's cache.
-func resolveRecovered(ctx context.Context, c *client.Client, ledger *hashLedger, precached map[string]struct{}) (recovered, resumedDone, restartedDone int, err error) {
+// results now sit in this server's cache. A failed recovered job is an
+// error — unless its key is in panicKeys, where failing is the spec's
+// whole purpose (injected panic, isolated by the pool).
+func resolveRecovered(ctx context.Context, c *client.Client, ledger *hashLedger, precached map[string]struct{}, panicKeys map[string]struct{}) (recoveredStats, error) {
+	var rs recoveredStats
 	first := true
 	for {
 		infos, err := c.Jobs(ctx)
 		if err != nil {
-			return recovered, resumedDone, restartedDone, fmt.Errorf("listing recovered jobs: %w", err)
+			return rs, fmt.Errorf("listing recovered jobs: %w", err)
 		}
 		if first {
-			recovered = len(infos)
+			rs.Recovered = len(infos)
 			first = false
 		}
 		pending := 0
@@ -419,24 +471,26 @@ func resolveRecovered(ctx context.Context, c *client.Client, ledger *hashLedger,
 				ledger.observe(info.Key, info.Result.StateHash, info.Result.Resumed)
 				precached[info.Key] = struct{}{}
 				if info.Result.Resumed {
-					resumedDone++
+					rs.ResumedDone++
 				} else {
-					restartedDone++
+					rs.RestartedDone++
 				}
 			}
-			// Recovered jobs that failed are counted by the caller via
-			// the ledger-independent RecoveredFails tally.
 			for _, info := range infos {
-				if info.State == jobqueue.StateFailed {
-					return recovered, resumedDone, restartedDone,
-						fmt.Errorf("recovered job %s failed: %s", info.ID, info.Error)
+				if info.State != jobqueue.StateFailed {
+					continue
 				}
+				if _, ok := panicKeys[info.Key]; ok {
+					rs.PanicFailed++
+					continue
+				}
+				return rs, fmt.Errorf("recovered job %s failed: %s", info.ID, info.Error)
 			}
-			return recovered, resumedDone, restartedDone, nil
+			return rs, nil
 		}
 		select {
 		case <-ctx.Done():
-			return recovered, resumedDone, restartedDone, ctx.Err()
+			return rs, ctx.Err()
 		case <-time.After(100 * time.Millisecond):
 		}
 	}

@@ -77,4 +77,11 @@ type HealthResponse struct {
 	QueueDepth    int     `json:"queueDepth"`
 	InFlight      int     `json:"inFlight"`
 	Workers       int     `json:"workers"`
+	// JobsRecovered counts jobs re-admitted from the state dir since
+	// boot; JobsQuarantined counts damaged persisted jobs set aside into
+	// the quarantine directory instead of recovered. A non-zero
+	// quarantine count means the state dir holds files an operator
+	// should inspect — the service itself stays healthy.
+	JobsRecovered   uint64 `json:"jobsRecovered"`
+	JobsQuarantined uint64 `json:"jobsQuarantined"`
 }

@@ -50,8 +50,20 @@ func New(pool *jobqueue.Pool, workers int) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// writeBudget bounds how long one non-streaming response may take to
+// write; the SSE handler replaces it with its own rolling deadline.
+const writeBudget = 30 * time.Second
+
+// ServeHTTP implements http.Handler. A global http.Server.WriteTimeout
+// would sever long-lived SSE streams, so the write deadline is applied
+// per request here instead — a fixed budget for plain JSON responses,
+// pushed forward per event by the streaming handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Errors mean the transport has no deadline support (e.g. a
+	// ResponseRecorder in tests); serving without one is the status quo.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(writeBudget))
+	s.mux.ServeHTTP(w, r)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -118,6 +130,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
+		var persist *jobqueue.PersistError
+		if errors.As(err, &persist) {
+			// The pool rolled the admission back: accepting the job would
+			// promise crash recovery the disk cannot deliver. 503 tells
+			// the client the rejection is the server's condition, not the
+			// request's, and that a retry may succeed (transient ENOSPC).
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{
+				Error:             persist.Error(),
+				RetryAfterSeconds: 5,
+			})
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -179,6 +204,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	// The stream outlives the per-request write budget by design, so it
+	// manages its own deadline: pushed forward before every write, with
+	// periodic keepalive comments so an idle stream both stays inside the
+	// deadline and detects a dead client (the write fails once the peer's
+	// buffers fill).
+	rc := http.NewResponseController(w)
+	extend := func() { _ = rc.SetWriteDeadline(time.Now().Add(writeBudget)) }
+	keepalive := time.NewTicker(10 * time.Second)
+	defer keepalive.Stop()
+
 	events, cancel := job.Subscribe()
 	defer cancel()
 	ctx := r.Context()
@@ -186,6 +221,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-ctx.Done():
 			return
+		case <-keepalive.C:
+			extend()
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case ev, open := <-events:
 			if !open {
 				return
@@ -194,6 +235,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
+			extend()
 			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
 				return
 			}
@@ -205,12 +247,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	stats := s.pool.Stats()
 	writeJSON(w, http.StatusOK, api.HealthResponse{
-		Status:        "ok",
-		Build:         buildinfo.Read(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		QueueDepth:    stats.QueueDepth,
-		InFlight:      stats.InFlight,
-		Workers:       s.workers,
+		Status:          "ok",
+		Build:           buildinfo.Read(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		QueueDepth:      stats.QueueDepth,
+		InFlight:        stats.InFlight,
+		Workers:         s.workers,
+		JobsRecovered:   stats.Counters["jobs_recovered"],
+		JobsQuarantined: stats.Counters["jobs_quarantined"],
 	})
 }
 

@@ -4,13 +4,17 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
 	"peas/internal/client"
+	"peas/internal/durable"
 	"peas/internal/experiment"
 	"peas/internal/jobqueue"
 	"peas/internal/node"
@@ -308,5 +312,81 @@ func TestEndToEndSSELateSubscriber(t *testing.T) {
 		return true
 	}); err != nil || len(again) != 1 || again[0].Type != jobqueue.EventDone {
 		t.Fatalf("second late subscription: err=%v events=%d", err, len(again))
+	}
+}
+
+// TestEndToEndPersistFailure503 pins the admission-durability contract
+// over the wire: when the state store cannot fsync the spec, the
+// submission is rejected as retryable (503 + Retry-After) rather than
+// accepted without crash recovery, and once the disk recovers the same
+// spec goes through.
+func TestEndToEndPersistFailure503(t *testing.T) {
+	ffs := durable.NewFaultFS(nil)
+	ffs.FailWrites(syscall.ENOSPC)
+	c, _, _ := startService(t, jobqueue.Config{
+		Workers: 1, QueueDepth: 4, StateDir: t.TempDir(), FS: ffs,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	_, err := c.Submit(ctx, testSpec(201))
+	var retryable *client.RetryableError
+	if !errors.As(err, &retryable) {
+		t.Fatalf("submit under ENOSPC: err = %v, want retryable 503", err)
+	}
+	if !strings.Contains(retryable.Message, "persist") {
+		t.Errorf("error does not name the persistence failure: %q", retryable.Message)
+	}
+	if retryable.RetryAfter <= 0 {
+		t.Errorf("503 carried no Retry-After hint")
+	}
+
+	// The disk recovers: SubmitWithRetry (which retries retryable
+	// rejections) now lands the job.
+	ffs.Reset()
+	resp, err := c.SubmitWithRetry(ctx, testSpec(201), client.RetryPolicy{MaxAttempts: 3})
+	if err != nil {
+		t.Fatalf("submit after disk recovery: %v", err)
+	}
+	if _, err := c.Wait(ctx, resp.Job.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEndToEndHealthQuarantine: a damaged persisted job is surfaced on
+// /healthz as a quarantine count while the service reports healthy and
+// keeps serving.
+func TestEndToEndHealthQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "j-000001.spec.json"), []byte("not a durable frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pool := jobqueue.New(jobqueue.Config{Workers: 1, QueueDepth: 4, StateDir: dir})
+	if _, err := pool.Recover(); err != nil {
+		t.Fatalf("Recover over damage must not error: %v", err)
+	}
+	pool.Start()
+	ts := httptest.NewServer(server.New(pool, 1))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = pool.Shutdown(ctx)
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	h, err := client.New(ts.URL).Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q: quarantined damage must not mark the service unhealthy", h.Status)
+	}
+	if h.JobsQuarantined != 1 {
+		t.Errorf("jobsQuarantined = %d, want 1", h.JobsQuarantined)
+	}
+	if h.JobsRecovered != 0 {
+		t.Errorf("jobsRecovered = %d, want 0", h.JobsRecovered)
 	}
 }

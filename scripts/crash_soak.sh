@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# crash_soak.sh runs the SIGKILL crash soak of the simulation service:
+#
+#   - plans a seeded workload including long-horizon jobs (the kill
+#     victims) and an injected-panic job (panic-isolation probe);
+#   - every cycle but the last SIGKILLs the managed peas-serve at
+#     seeded points: a random delay into the submission storm (tearing
+#     persistSpec durable writes, widened by -durable-delay), or right
+#     as drain-checkpoint files land (tearing checkpoint writes);
+#   - every boot must account for every spec file present at kill time
+#     (healthz recovered + quarantined), every complete checkpoint
+#     killed must resume bit-exactly against the in-process reference
+#     StateHash, and the final undisturbed cycle is gated on the SLO.
+#
+# The soak exits non-zero unless every assertion in the JSON report
+# passes (accounting intact, zero lost jobs, hash consistency,
+# checkpoint resume exercised, panic contained, clean final drain).
+#
+# Usage: scripts/crash_soak.sh <peas-serve-bin> <peas-loadgen-bin>
+set -euo pipefail
+
+SERVE_BIN=${1:?usage: crash_soak.sh <peas-serve binary> <peas-loadgen binary>}
+LOADGEN_BIN=${2:?usage: crash_soak.sh <peas-serve binary> <peas-loadgen binary>}
+STATE_DIR=$(mktemp -d)
+REPORT=$(mktemp)
+trap 'rm -rf "$STATE_DIR"' EXIT
+
+"$LOADGEN_BIN" -soak-kill9 \
+  -serve-bin "$SERVE_BIN" \
+  -state-dir "$STATE_DIR" \
+  -addr 127.0.0.1:18743 \
+  -cycles 4 -jobs 40 -seed 7 -kill-seed 11 \
+  -dup 0.3 -follow 0.4 -chaos 0.15 -long-jobs 2 -panic-jobs 1 \
+  -out "$REPORT" -v || { echo "FAIL: crash-soak report:"; cat "$REPORT"; exit 1; }
+
+grep -q '"pass": true' "$REPORT" || { echo "FAIL: report not passing"; cat "$REPORT"; exit 1; }
+echo "crash-soak report:"
+cat "$REPORT"
+echo "PASS: crash soak"
