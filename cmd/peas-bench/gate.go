@@ -30,6 +30,10 @@ type gateMetrics struct {
 	Events  uint64 `json:"events"`
 	Packets uint64 `json:"packets"`
 	Wakeups uint64 `json:"wakeups"`
+	// CoverageSamples counts the periodic K-coverage observations the run
+	// recorded; the incremental coverage engine must not change how often
+	// (or whether) the lattice is sampled, only what each sample costs.
+	CoverageSamples uint64 `json:"coverage_samples"`
 	// Allocs is the number of heap objects allocated during the run
 	// (network construction included); AllocsPerEvent divides it by Events.
 	// Both are deterministic and gated at -allocs-tolerance (default 0).
@@ -107,18 +111,19 @@ func measureGate(quick bool) (*gateBaseline, error) {
 				return nil, fmt.Errorf("scenario %s: %w", sc.name, err)
 			}
 			cur := gateMetrics{
-				Events:  net.Engine.Executed(),
-				Packets: res.PacketsSent,
-				Wakeups: res.Wakeups,
+				Events:          net.Engine.Executed(),
+				Packets:         res.PacketsSent,
+				Wakeups:         res.Wakeups,
+				CoverageSamples: uint64(res.CoverageSamples),
 			}
 			if rep == 0 {
 				m = cur
 				m.Allocs = allocs
 				m.WallNS = wall
 			} else {
-				if cur != (gateMetrics{Events: m.Events, Packets: m.Packets, Wakeups: m.Wakeups}) {
-					return nil, fmt.Errorf("scenario %s is non-deterministic: repeat %d counted (%d, %d, %d), first run (%d, %d, %d)",
-						sc.name, rep, cur.Events, cur.Packets, cur.Wakeups, m.Events, m.Packets, m.Wakeups)
+				if cur != (gateMetrics{Events: m.Events, Packets: m.Packets, Wakeups: m.Wakeups, CoverageSamples: m.CoverageSamples}) {
+					return nil, fmt.Errorf("scenario %s is non-deterministic: repeat %d counted (%d, %d, %d, %d), first run (%d, %d, %d, %d)",
+						sc.name, rep, cur.Events, cur.Packets, cur.Wakeups, cur.CoverageSamples, m.Events, m.Packets, m.Wakeups, m.CoverageSamples)
 				}
 				if allocs < m.Allocs {
 					m.Allocs = allocs
@@ -135,8 +140,8 @@ func measureGate(quick bool) (*gateBaseline, error) {
 			m.AllocsPerEvent = float64(m.Allocs) / float64(m.Events)
 		}
 		out.Scenarios[sc.name] = m
-		fmt.Printf("%-14s events=%-9d packets=%-8d wakeups=%-7d allocs/event=%-7.3f wall=%s\n",
-			sc.name, m.Events, m.Packets, m.Wakeups, m.AllocsPerEvent,
+		fmt.Printf("%-14s events=%-9d packets=%-8d wakeups=%-7d covsamples=%-5d allocs/event=%-7.3f wall=%s\n",
+			sc.name, m.Events, m.Packets, m.Wakeups, m.CoverageSamples, m.AllocsPerEvent,
 			time.Duration(m.WallNS).Round(time.Millisecond))
 	}
 	return out, nil
@@ -213,6 +218,7 @@ func runGate(path string, tol gateTolerances, write, quick bool) error {
 		check("events", float64(b.Events), float64(c.Events), tol.counters)
 		check("packets", float64(b.Packets), float64(c.Packets), tol.counters)
 		check("wakeups", float64(b.Wakeups), float64(c.Wakeups), tol.counters)
+		check("coverage-samples", float64(b.CoverageSamples), float64(c.CoverageSamples), tol.counters)
 		check("allocs/event", b.AllocsPerEvent, c.AllocsPerEvent, tol.allocs)
 		if b.WallNS > 0 {
 			ratio := float64(c.WallNS) / float64(b.WallNS)

@@ -1,0 +1,107 @@
+package coverage
+
+import (
+	"testing"
+
+	"peas/internal/geom"
+	"peas/internal/stats"
+)
+
+// Microbenchmarks for the K-coverage engines. Run with
+//
+//	go test ./internal/coverage -run=NONE -bench=. -benchmem
+//
+// BenchmarkIncrementalSample is the steady-state path the periodic
+// coverage tick pays between working-set transitions; it must stay at
+// 0 allocs/op (TestIncrementalHotPathAllocFree enforces this and CI runs
+// the -benchmem suite). BenchmarkLegacyFraction is the from-scratch
+// reference the incremental engine replaced on that tick.
+
+const (
+	benchN      = 480
+	benchRadius = 10.0
+	benchMaxK   = 5
+)
+
+func benchSetup(b testing.TB) (*Lattice, []geom.Point) {
+	b.Helper()
+	field := geom.NewField(50, 50)
+	return NewLattice(field, 1), geom.UniformDeploy(field, benchN, stats.NewRNG(1))
+}
+
+func BenchmarkIncrementalSample(b *testing.B) {
+	lat, sensors := benchSetup(b)
+	inc := NewIncremental(lat, sensors, benchRadius, benchMaxK)
+	for i := 0; i < benchN/3; i++ {
+		inc.Set(i, true)
+	}
+	buf := make([]float64, 0, benchMaxK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = inc.FractionInto(buf)
+	}
+	_ = buf
+}
+
+// BenchmarkIncrementalChurn measures a transition-heavy epoch: a few
+// wake/sleep flips (the ±footprint stamps) followed by one sample, the
+// worst realistic duty cycle between two coverage ticks.
+func BenchmarkIncrementalChurn(b *testing.B) {
+	lat, sensors := benchSetup(b)
+	inc := NewIncremental(lat, sensors, benchRadius, benchMaxK)
+	for i := 0; i < benchN/3; i++ {
+		inc.Set(i, true)
+	}
+	buf := make([]float64, 0, benchMaxK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ {
+			k := (i*7 + j*131) % benchN
+			inc.Set(k, !inc.Working(k))
+		}
+		buf = inc.FractionInto(buf)
+	}
+	_ = buf
+}
+
+func BenchmarkLegacyFraction(b *testing.B) {
+	lat, sensors := benchSetup(b)
+	working := sensors[:benchN/3]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lat.Fraction(working, benchRadius, benchMaxK)
+	}
+}
+
+// TestIncrementalHotPathAllocFree pins the 0 allocs/op contract of the
+// steady-state sample and of working-set transitions, independent of
+// whether the benchmarks run.
+func TestIncrementalHotPathAllocFree(t *testing.T) {
+	lat, sensors := benchSetup(t)
+	inc := NewIncremental(lat, sensors, benchRadius, benchMaxK)
+	for i := 0; i < benchN/3; i++ {
+		inc.Set(i, true)
+	}
+	buf := make([]float64, 0, benchMaxK)
+	mask := make([]bool, 0, lat.Len())
+	if avg := testing.AllocsPerRun(1000, func() {
+		buf = inc.FractionInto(buf)
+	}); avg != 0 {
+		t.Errorf("steady-state sample: %v allocs/op, want 0", avg)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		inc.Set(i%benchN, !inc.Working(i%benchN))
+		i++
+	}); avg != 0 {
+		t.Errorf("working transition: %v allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		mask = inc.CoveredMaskInto(mask)
+	}); avg != 0 {
+		t.Errorf("covered mask: %v allocs/op, want 0", avg)
+	}
+}

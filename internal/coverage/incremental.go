@@ -1,0 +1,236 @@
+package coverage
+
+import (
+	"fmt"
+
+	"peas/internal/geom"
+)
+
+// Incremental is the O(Δworking) K-coverage engine. For a fixed
+// deployment it precomputes, once, each sensor's lattice footprint — the
+// exact set of lattice points within the sensing radius, decided by the
+// same squared-distance predicate Lattice.Fraction uses — and then keeps
+// per-lattice-point coverage counts current by stamping ±1 footprints as
+// sensors enter and leave the working set. A count-of-counts histogram
+// (clamped at maxK) rides along, so answering Fraction is a suffix sum
+// over maxK buckets instead of a rebuild over every working disk.
+//
+// The integer counts are bit-identical to what Lattice.Fraction computes
+// from the same working set: footprint membership uses the identical
+// `Dist2 <= r*r` comparison on the identical positions, and integer
+// addition is order-independent. The reported fractions divide the same
+// exact float64 integers by the same lattice size, so they are
+// bit-identical too. Lattice.Fraction stays as the from-scratch
+// differential-testing reference.
+type Incremental struct {
+	lat  *Lattice
+	maxK int
+
+	// Footprints in CSR layout: sensor i covers lattice points
+	// idxs[offs[i]:offs[i+1]].
+	offs []int32
+	idxs []int32
+
+	// counts[p] is the number of stamped sensors covering lattice point p.
+	counts []int32
+	// hist[c] is the number of lattice points whose count, clamped at
+	// maxK, equals c. Transitions entirely above maxK do not move it.
+	hist []int64
+	// working mirrors the stamped set; Set is idempotent against it.
+	working    []bool
+	numWorking int
+}
+
+// NewIncremental builds the engine for a fixed set of sensor positions
+// sampled on lat with the given sensing radius, tracking coverage degrees
+// 1..maxK. The footprint precomputation costs one legacy-Fraction-like
+// pass; every later transition costs one footprint stamp.
+func NewIncremental(lat *Lattice, sensors []geom.Point, radius float64, maxK int) *Incremental {
+	if maxK < 1 {
+		maxK = 1
+	}
+	inc := &Incremental{
+		lat:     lat,
+		maxK:    maxK,
+		offs:    make([]int32, len(sensors)+1),
+		counts:  make([]int32, len(lat.points)),
+		hist:    make([]int64, maxK+1),
+		working: make([]bool, len(sensors)),
+	}
+	inc.hist[0] = int64(len(lat.points))
+	if len(lat.points) == 0 || radius < 0 {
+		return inc
+	}
+	r2 := radius * radius
+	for i, s := range sensors {
+		// The candidate window and the exact membership test replicate
+		// Lattice.Fraction's stamping loop verbatim, so the footprint is
+		// precisely the point set that loop would visit and count.
+		c0 := int((s.X-radius)/lat.spacing) - 1
+		c1 := int((s.X+radius)/lat.spacing) + 1
+		r0 := int((s.Y-radius)/lat.spacing) - 1
+		r1 := int((s.Y+radius)/lat.spacing) + 1
+		if c0 < 0 {
+			c0 = 0
+		}
+		if r0 < 0 {
+			r0 = 0
+		}
+		if c1 >= lat.cols {
+			c1 = lat.cols - 1
+		}
+		if r1 >= lat.rows {
+			r1 = lat.rows - 1
+		}
+		for row := r0; row <= r1; row++ {
+			base := row * lat.cols
+			for col := c0; col <= c1; col++ {
+				if lat.points[base+col].Dist2(s) <= r2 {
+					inc.idxs = append(inc.idxs, int32(base+col))
+				}
+			}
+		}
+		inc.offs[i+1] = int32(len(inc.idxs))
+	}
+	return inc
+}
+
+// Len returns the number of tracked sensors.
+func (inc *Incremental) Len() int { return len(inc.working) }
+
+// MaxK returns the highest tracked coverage degree.
+func (inc *Incremental) MaxK() int { return inc.maxK }
+
+// Working reports whether sensor i is currently stamped as working.
+func (inc *Incremental) Working(i int) bool { return inc.working[i] }
+
+// WorkingCount returns the number of currently working sensors.
+func (inc *Incremental) WorkingCount() int { return inc.numWorking }
+
+// FootprintLen returns the number of lattice points sensor i covers.
+func (inc *Incremental) FootprintLen(i int) int {
+	return int(inc.offs[i+1] - inc.offs[i])
+}
+
+// Set transitions sensor i into (working=true) or out of (working=false)
+// the working set, stamping its footprint onto the counts and histogram.
+// Setting the current status is a no-op, so callers can forward raw state
+// observations without pre-filtering. The cost is O(footprint); no
+// allocation ever happens here.
+func (inc *Incremental) Set(i int, working bool) {
+	if inc.working[i] == working {
+		return
+	}
+	inc.working[i] = working
+	maxK := int32(inc.maxK)
+	foot := inc.idxs[inc.offs[i]:inc.offs[i+1]]
+	if working {
+		inc.numWorking++
+		for _, p := range foot {
+			c := inc.counts[p]
+			inc.counts[p] = c + 1
+			if c < maxK {
+				inc.hist[c]--
+				inc.hist[c+1]++
+			}
+		}
+	} else {
+		inc.numWorking--
+		for _, p := range foot {
+			c := inc.counts[p]
+			inc.counts[p] = c - 1
+			if c <= maxK {
+				inc.hist[c]--
+				inc.hist[c-1]++
+			}
+		}
+	}
+}
+
+// Rebuild resets every count and re-stamps exactly the sensors for which
+// workingAt reports true. The checkpoint-resume path uses it to
+// reconstruct the engine from a restored working set in one pass.
+func (inc *Incremental) Rebuild(workingAt func(i int) bool) {
+	clear(inc.counts)
+	clear(inc.hist)
+	clear(inc.working)
+	inc.hist[0] = int64(len(inc.lat.points))
+	inc.numWorking = 0
+	for i := range inc.working {
+		if workingAt(i) {
+			inc.Set(i, true)
+		}
+	}
+}
+
+// FractionInto answers the current K-coverage fractions for K=1..MaxK
+// into out (reallocated only when its capacity is short) and returns it.
+// out[k-1] is the fraction of lattice points covered by at least k
+// working sensors. The answer is a suffix sum over the histogram: O(maxK)
+// work and, with an adequately sized buffer, zero allocations.
+func (inc *Incremental) FractionInto(out []float64) []float64 {
+	if cap(out) < inc.maxK {
+		out = make([]float64, inc.maxK)
+	}
+	out = out[:inc.maxK]
+	n := len(inc.lat.points)
+	if n == 0 {
+		for k := range out {
+			out[k] = 0
+		}
+		return out
+	}
+	var ge int64
+	for k := inc.maxK; k >= 1; k-- {
+		ge += inc.hist[k]
+		// float64(ge) is the exact integer the legacy path accumulates
+		// via repeated ++, and the divisor is identical, so the quotient
+		// is bit-identical.
+		out[k-1] = float64(ge) / float64(n)
+	}
+	return out
+}
+
+// Fraction is FractionInto with a fresh result slice.
+func (inc *Incremental) Fraction() []float64 {
+	return inc.FractionInto(make([]float64, inc.maxK))
+}
+
+// FractionK returns the K-coverage fraction for a single k in 1..MaxK
+// (lower values clamp to 1).
+func (inc *Incremental) FractionK(k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	if k > inc.maxK {
+		panic(fmt.Sprintf("coverage: FractionK(%d) beyond tracked maxK=%d", k, inc.maxK))
+	}
+	n := len(inc.lat.points)
+	if n == 0 {
+		return 0
+	}
+	var ge int64
+	for c := inc.maxK; c >= k; c-- {
+		ge += inc.hist[c]
+	}
+	return float64(ge) / float64(n)
+}
+
+// Covered reports whether lattice point p is covered by at least one
+// working sensor.
+func (inc *Incremental) Covered(p int) bool { return inc.counts[p] > 0 }
+
+// CoveredMaskInto fills mask (reallocated only when its capacity is
+// short) with, for each lattice point, whether at least one working
+// sensor covers it — the incremental equivalent of Lattice.CoveredMask,
+// which decides membership with the same squared-distance predicate.
+func (inc *Incremental) CoveredMaskInto(mask []bool) []bool {
+	if cap(mask) < len(inc.counts) {
+		mask = make([]bool, len(inc.counts))
+	}
+	mask = mask[:len(inc.counts)]
+	for i, c := range inc.counts {
+		mask[i] = c > 0
+	}
+	return mask
+}

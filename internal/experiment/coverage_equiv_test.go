@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"testing"
+
+	"peas/internal/checkpoint"
+	"peas/internal/coverage"
+	"peas/internal/node"
+)
+
+// TestIncrementalMatchesLegacyDuringRun is the run-level differential:
+// on every periodic coverage sample of a live simulation (failures and
+// forwarding on, so the working set churns through deaths as well as
+// protocol transitions), the incremental engine's byK vector must be
+// bit-identical to a from-scratch Lattice.Fraction over the same
+// network's working positions.
+func TestIncrementalMatchesLegacyDuringRun(t *testing.T) {
+	for _, seed := range []int64{4, 17} {
+		cfg := RunConfig{
+			Network:          node.DefaultConfig(120, seed),
+			Horizon:          2600,
+			FailuresPer5000s: 20,
+			Forwarding:       true,
+		}
+		lattice := coverage.NewLattice(cfg.Network.Field, 1)
+		var net *node.Network
+		cfg.OnNetwork = func(n *node.Network) { net = n }
+		samples := 0
+		cfg.OnSample = func(now float64, working int, byK []float64) {
+			samples++
+			want := lattice.Fraction(net.WorkingPositions(), SensingRange, MaxCoverageK)
+			if len(byK) != len(want) {
+				t.Fatalf("seed %d t=%v: byK has %d entries, want %d", seed, now, len(byK), len(want))
+			}
+			for k := range want {
+				if byK[k] != want[k] {
+					t.Fatalf("seed %d t=%v K=%d: incremental %v != legacy %v",
+						seed, now, k+1, byK[k], want[k])
+				}
+			}
+			if want := net.WorkingCount(); working != want {
+				t.Fatalf("seed %d t=%v: working count %d != %d", seed, now, working, want)
+			}
+		}
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if samples < 50 {
+			t.Fatalf("seed %d: only %d samples; differential barely exercised", seed, samples)
+		}
+	}
+}
+
+// TestCheckpointResumeCoverageSamples checks the resume-rebuild path of
+// the incremental engine: a run suspended at a mid-run checkpoint and
+// resumed through the codec must record exactly the direct run's tracker
+// samples (times and byK vectors bit-identical) and reach the identical
+// final StateHash.
+func TestCheckpointResumeCoverageSamples(t *testing.T) {
+	cfg := RunConfig{
+		Network:          node.DefaultConfig(60, 12),
+		Horizon:          2400,
+		FailuresPer5000s: 15,
+		Forwarding:       true,
+	}
+
+	direct := cfg
+	direct.CaptureFinal = true
+	a, err := Run(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mid *checkpoint.Snapshot
+	half := cfg
+	half.CheckpointEvery = cfg.Horizon / 2
+	half.OnCheckpoint = func(s *checkpoint.Snapshot) bool {
+		mid = s
+		return true
+	}
+	if _, err := Run(half); err != nil {
+		t.Fatal(err)
+	}
+	if mid == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	decoded, err := checkpoint.DecodeBytes(mid.EncodeBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Run(RunConfig{Resume: decoded, CaptureFinal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := c.FinalState.StateHashHex(), a.FinalState.StateHashHex(); got != want {
+		t.Errorf("final StateHash: resumed %s != direct %s", got, want)
+	}
+	ds, rs := a.FinalState.TrackerSamples, c.FinalState.TrackerSamples
+	if len(ds) != len(rs) {
+		t.Fatalf("tracker samples: direct %d, resumed %d", len(ds), len(rs))
+	}
+	for i := range ds {
+		if ds[i].T != rs[i].T {
+			t.Fatalf("sample %d: time %v != %v", i, rs[i].T, ds[i].T)
+		}
+		for k := range ds[i].ByK {
+			if ds[i].ByK[k] != rs[i].ByK[k] {
+				t.Fatalf("sample %d K=%d: resumed %v != direct %v",
+					i, k+1, rs[i].ByK[k], ds[i].ByK[k])
+			}
+		}
+	}
+	if a.CoverageSamples != c.CoverageSamples {
+		t.Errorf("CoverageSamples: direct %d, resumed %d", a.CoverageSamples, c.CoverageSamples)
+	}
+	// Sanity: a resumed run must actually have crossed the suspend point.
+	crossed := false
+	for _, s := range rs {
+		if s.T > mid.SimTime {
+			crossed = true
+			break
+		}
+	}
+	if !crossed {
+		t.Error("no tracker sample beyond the checkpoint time; resume path untested")
+	}
+}

@@ -109,6 +109,10 @@ func RpSweepStudy(rootSeed int64) *Table {
 		Headers: []string{"Rp(m)", "(1+√5)Rp", "cond holds", "mean-working", "components@Rt=10", "4-cov"},
 	}
 	const runs = 3
+	// One observation lattice serves every evaluation below: all runs
+	// share the default 50 x 50 m field, and coverageAt only reads it.
+	lattice := coverage.NewLattice(node.DefaultConfig(480, 0).Field, 2)
+	var posBuf []geom.Point
 	for _, rp := range []float64{2, 2.5, 3, 4, 5, 6} {
 		bound := connectivity.SeparationBound * rp
 		holds := bound <= 10
@@ -122,10 +126,11 @@ func RpSweepStudy(rootSeed int64) *Table {
 			}
 			net.Start()
 			net.Run(600)
-			a := connectivity.Analyze(net.Field, net.WorkingPositions(), 10)
+			posBuf = net.AppendWorkingPositions(posBuf[:0])
+			a := connectivity.Analyze(net.Field, posBuf, 10)
 			working += float64(a.Working)
 			components += float64(a.Components)
-			cov4 += coverageAt(net, 4)
+			cov4 += coverageAt(lattice, posBuf, 4)
 		}
 		t.AddRow(fmt.Sprintf("%.1f", rp), fmt.Sprintf("%.2f", bound),
 			fmt.Sprint(holds), fmt.Sprintf("%.1f", working/runs),
@@ -137,11 +142,10 @@ func RpSweepStudy(rootSeed int64) *Table {
 	return t
 }
 
-// coverageAt samples the K-coverage fraction of net's current working set
-// on a coarse (2 m) lattice.
-func coverageAt(net *node.Network, k int) float64 {
-	lattice := coverage.NewLattice(net.Field, 2)
-	return lattice.FractionK(net.WorkingPositions(), SensingRange, k)
+// coverageAt samples the K-coverage fraction of the given working set on
+// a caller-owned (hoisted, reusable) observation lattice.
+func coverageAt(lattice *coverage.Lattice, working []geom.Point, k int) float64 {
+	return lattice.FractionK(working, SensingRange, k)
 }
 
 // BootStudy reproduces §2.1's boot-up discussion: "the initial value of λ
@@ -154,6 +158,9 @@ func BootStudy(rootSeed int64) *Table {
 		Caption: "§2.1: initial probing rate λ0 vs. boot-up time (480 nodes)",
 		Headers: []string{"λ0 (1/s)", "t to 90% 4-coverage (s)", "workers @ t"},
 	}
+	// The lattice depends only on the (shared) field, so every λ0 case
+	// reuses one instead of rebuilding it per configuration.
+	lattice := coverage.NewLattice(node.DefaultConfig(480, 0).Field, 2)
 	for _, lambda0 := range []float64{0.012, 0.05, 0.1, 0.3} {
 		cfg := node.DefaultConfig(480, derivedSeed(rootSeed, 900, 0))
 		cfg.Protocol.InitialRate = lambda0
@@ -161,16 +168,18 @@ func BootStudy(rootSeed int64) *Table {
 		if err != nil {
 			continue
 		}
-		lattice := coverage.NewLattice(cfg.Field, 2)
+		// The 5 s poll loop reads the incremental engine: working-set
+		// transitions maintain the counts, so each poll is O(maxK).
+		inc := attachIncremental(net, lattice, 4)
 		bootT := math.NaN()
 		workers := 0
 		net.Engine.NewTicker(5, func() {
 			if !math.IsNaN(bootT) {
 				return
 			}
-			if lattice.FractionK(net.WorkingPositions(), SensingRange, 4) >= 0.9 {
+			if inc.FractionK(4) >= 0.9 {
 				bootT = net.Engine.Now()
-				workers = net.WorkingCount()
+				workers = inc.WorkingCount()
 				net.Engine.Stop()
 			}
 		})

@@ -127,6 +127,10 @@ type RunStats struct {
 	ReportsDelivered int
 	// Wakeups is the total probe rounds across all nodes.
 	Wakeups uint64
+	// CoverageSamples is how many periodic coverage observations the run
+	// recorded (resumed samples included) — a deterministic work counter
+	// the bench gate tracks alongside events/packets/wakeups.
+	CoverageSamples int
 	// ProtocolEnergy is the joules attributed to PEAS operation
 	// (Table 1 numerator).
 	ProtocolEnergy float64
@@ -192,22 +196,30 @@ func Run(cfg RunConfig) (*RunStats, error) {
 		horizon = DefaultHorizon(cfg.Network.N)
 	}
 
-	// Coverage sampling.
+	// Coverage sampling. The incremental engine keeps per-lattice-point
+	// counts current through the working-transition hook, so each periodic
+	// sample is an O(MaxCoverageK) histogram suffix sum instead of
+	// re-stamping every working disk — the per-tick cost is proportional
+	// to working-set churn, not working-set size. The legacy
+	// Lattice.Fraction path remains the differential-testing reference
+	// (see internal/coverage and the equivalence tests).
 	spacing := cfg.CoverageSpacing
 	if spacing <= 0 {
 		spacing = 1
 	}
 	lattice := coverage.NewLattice(cfg.Network.Field, spacing)
+	inc := attachIncremental(net, lattice, MaxCoverageK)
 	tracker := coverage.NewTracker(MaxCoverageK)
 	workingSeries := metrics.NewSeries("working")
+	byKBuf := make([]float64, 0, MaxCoverageK)
 	sample := func() {
 		now := net.Engine.Now()
-		byK := lattice.Fraction(net.WorkingPositions(), SensingRange, MaxCoverageK)
-		tracker.Record(now, byK)
-		working := net.WorkingCount()
+		byKBuf = inc.FractionInto(byKBuf)
+		tracker.Record(now, byKBuf)
+		working := inc.WorkingCount()
 		workingSeries.Record(now, float64(working))
 		if cfg.OnSample != nil {
-			cfg.OnSample(now, working, byK)
+			cfg.OnSample(now, working, byKBuf)
 		}
 	}
 	var sampler *sim.Ticker
@@ -266,6 +278,9 @@ func Run(cfg RunConfig) (*RunStats, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Checkpoint restores bypass the working-transition hook, so
+		// reconstruct the incremental counts from the restored working set.
+		inc.Rebuild(func(i int) bool { return net.Nodes[i].Working() })
 		if cfg.OnNetwork != nil {
 			cfg.OnNetwork(net)
 		}
@@ -287,6 +302,7 @@ func Run(cfg RunConfig) (*RunStats, error) {
 	// Collect results.
 	res := &RunStats{
 		Wakeups:          net.TotalWakeups(),
+		CoverageSamples:  len(tracker.Samples()),
 		ProtocolEnergy:   net.ProtocolEnergy(),
 		TotalEnergy:      net.TotalConsumed(),
 		MeanWorking:      workingSeries.MeanAfter(300),

@@ -9,6 +9,7 @@ import (
 	"peas/internal/connectivity"
 	"peas/internal/coverage"
 	"peas/internal/failure"
+	"peas/internal/geom"
 	"peas/internal/node"
 	"peas/internal/stats"
 )
@@ -73,6 +74,7 @@ func ConnectivityStudy(seeds int, rootSeed int64) *Table {
 	}
 	bound := connectivity.SeparationBound * 3 // (1+√5)·Rp for Rp = 3
 	connectedRuns := 0
+	var posBuf []geom.Point
 	for s := 0; s < seeds; s++ {
 		cfg := RunConfig{
 			Network: node.DefaultConfig(480, derivedSeed(rootSeed, 200, s)),
@@ -84,7 +86,8 @@ func ConnectivityStudy(seeds int, rootSeed int64) *Table {
 		}
 		net.Start()
 		net.Run(cfg.Horizon)
-		a := connectivity.Analyze(net.Field, net.WorkingPositions(), 10)
+		posBuf = net.AppendWorkingPositions(posBuf[:0])
+		a := connectivity.Analyze(net.Field, posBuf, 10)
 		if a.Connected {
 			connectedRuns++
 		}
@@ -167,6 +170,10 @@ func peasGapRun(seed int64) (mean, max float64, count int, lifetime float64) {
 	}
 	inj := failure.NewInjector(net, failure.RatePer5000s(32), stats.NewRNG(seed^0x5f3759df))
 	lattice := coverage.NewLattice(cfg.Field, 5) // 11x11 observation points
+	// The 1 Hz observation loop runs 12000 times per seed; the incremental
+	// engine makes each tick O(observation points) reads instead of a full
+	// working-disk restamp plus a spatial-index rebuild.
+	inc := attachIncremental(net, lattice, 1)
 	tracker := coverage.NewTracker(1)
 
 	const (
@@ -177,12 +184,13 @@ func peasGapRun(seed int64) (mean, max float64, count int, lifetime float64) {
 	gapStart := make([]float64, lattice.Len())
 	covered := make([]bool, lattice.Len())
 	var gaps []float64
+	byK := make([]float64, 0, 1)
+	mask := make([]bool, 0, lattice.Len())
 	net.Engine.NewTicker(interval, func() {
 		now := net.Engine.Now()
-		positions := net.WorkingPositions()
-		byK := lattice.Fraction(positions, SensingRange, 1)
+		byK = inc.FractionInto(byK)
 		tracker.Record(now, byK)
-		mask := lattice.CoveredMask(positions, SensingRange)
+		mask = inc.CoveredMaskInto(mask)
 		for i, cov := range mask {
 			switch {
 			case cov && gapStart[i] > 0:
@@ -260,6 +268,7 @@ func TurnoffStudy(rootSeed int64) *Table {
 		Caption: "§4: redundant-worker turn-off extension (480 nodes, t=1200 s)",
 		Headers: []string{"turnoff", "mean-working", "min-pair-dist(m)", "turnoffs"},
 	}
+	var posBuf []geom.Point
 	for _, enabled := range []bool{false, true} {
 		var working, minPair, turnoffs float64
 		const runs = 3
@@ -273,7 +282,8 @@ func TurnoffStudy(rootSeed int64) *Table {
 			net.Start()
 			net.Run(1200)
 			working += float64(net.WorkingCount())
-			a := connectivity.Analyze(net.Field, net.WorkingPositions(), 10)
+			posBuf = net.AppendWorkingPositions(posBuf[:0])
+			a := connectivity.Analyze(net.Field, posBuf, 10)
 			minPair += a.MinPairDist
 			for _, n := range net.Nodes {
 				turnoffs += float64(n.Protocol().Stats().Turnoffs)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"peas/internal/failure"
+	"peas/internal/geom"
 	"peas/internal/node"
 	"peas/internal/sensing"
 	"peas/internal/stats"
@@ -47,8 +48,10 @@ func trackingRun(seed int64, lambdaD float64) sensing.Report {
 		stats.NewRNG(seed^0x5f3759df))
 	const detectRange = 5.0
 	tracker := sensing.NewTracker(cfg.Field, detectRange, 4, 1.5, stats.NewRNG(seed^0x7e57))
+	var posBuf []geom.Point
 	net.Engine.NewTicker(5, func() {
-		tracker.Observe(net.Engine.Now(), net.WorkingPositions())
+		posBuf = net.AppendWorkingPositions(posBuf[:0])
+		tracker.Observe(net.Engine.Now(), posBuf)
 	})
 	net.Start()
 	inj.Start()

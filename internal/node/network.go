@@ -72,6 +72,14 @@ type Network struct {
 	OnDeath   func(id core.NodeID, cause DeathCause)
 	OnRevive  func(id core.NodeID)
 	OnDeliver func(id core.NodeID, pkt radio.Packet, dist float64)
+	// OnWorkingChange fires exactly when a node's Working() status flips —
+	// on entering Working, and on leaving it for any reason (sleep, probe,
+	// death, crash). Every live path funnels through Node.SetState, so the
+	// hook sees each transition once; checkpoint restores bypass it (the
+	// resume path rebuilds derived state from the restored working set).
+	// The incremental coverage engine subscribes here to keep per-sample
+	// work proportional to working-set churn.
+	OnWorkingChange func(id core.NodeID, working bool)
 }
 
 // energyAdapter charges packet airtime to node batteries. The extra
@@ -213,9 +221,21 @@ func (net *Network) WorkingCount() int {
 	return c
 }
 
-// WorkingPositions returns the positions of all alive working nodes.
+// WorkingPositions returns the positions of all alive working nodes in a
+// fresh slice. Callers that sample repeatedly should reuse a buffer via
+// AppendWorkingPositions instead.
 func (net *Network) WorkingPositions() []geom.Point {
-	pts := make([]geom.Point, 0, len(net.Nodes)/4)
+	return net.AppendWorkingPositions(make([]geom.Point, 0, len(net.Nodes)/4))
+}
+
+// AppendWorkingPositions appends the positions of all alive working nodes
+// to pts and returns the extended slice. Periodic samplers pass the same
+// buffer re-sliced to pts[:0] each tick, keeping the scan allocation-free
+// once the buffer has grown to the working-set high-water mark. Every
+// in-repo consumer (connectivity analysis, sensing trackers, coverage
+// estimators) uses the positions transiently, so sharing one buffer
+// across sequential evaluations is safe.
+func (net *Network) AppendWorkingPositions(pts []geom.Point) []geom.Point {
 	for _, n := range net.Nodes {
 		if n.Working() {
 			pts = append(pts, n.pos)

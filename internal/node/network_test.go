@@ -1,6 +1,7 @@
 package node
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -219,6 +220,64 @@ func TestObserverHooks(t *testing.T) {
 	}
 	if delivers == 0 {
 		t.Error("no deliveries observed")
+	}
+}
+
+// TestWorkingChangeHookTracksWorkingSet replays a run with failures and
+// revives while mirroring OnWorkingChange into a shadow set; at several
+// instants the shadow must equal a fresh Working() scan, and the hook
+// must be strictly edge-triggered (no repeated same-direction events).
+func TestWorkingChangeHookTracksWorkingSet(t *testing.T) {
+	cfg := DefaultConfig(80, 31)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := make([]bool, cfg.N)
+	flips := 0
+	net.OnWorkingChange = func(id core.NodeID, working bool) {
+		if shadow[id] == working {
+			t.Fatalf("node %d: repeated OnWorkingChange(%v) without an opposite edge", id, working)
+		}
+		shadow[id] = working
+		flips++
+	}
+	verify := func(at string) {
+		t.Helper()
+		for i, n := range net.Nodes {
+			if shadow[i] != n.Working() {
+				t.Fatalf("%s: node %d shadow=%v Working()=%v", at, i, shadow[i], n.Working())
+			}
+		}
+	}
+	net.Start()
+	rng := stats.NewRNG(5)
+	for _, until := range []float64{50, 200, 600} {
+		net.Run(until)
+		verify(fmt.Sprintf("t=%v", until))
+		net.FailRandomAlive(rng)
+		verify("after injected failure")
+	}
+	// Crash a working node and revive it: the hook must see both edges.
+	var victim *Node
+	for _, n := range net.Nodes {
+		if n.Working() {
+			victim = n
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no working node to crash")
+	}
+	victim.Crash()
+	verify("after crash")
+	if !victim.Revive() {
+		t.Fatal("revive failed")
+	}
+	net.Run(net.Engine.Now() + 300)
+	verify("after revive")
+	if flips == 0 {
+		t.Error("no working transitions observed")
 	}
 }
 

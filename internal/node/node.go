@@ -58,6 +58,10 @@ type Node struct {
 	alive      bool
 	cause      DeathCause
 	diedAt     float64
+	// wasWorking is the last Working() status reported through
+	// Network.OnWorkingChange; SetState diffs against it so the hook
+	// fires exactly once per flip.
+	wasWorking bool
 }
 
 var (
@@ -140,6 +144,16 @@ func (n *Node) SetState(s core.State) {
 		// Battery handling happens in die/failNow.
 	}
 	n.rescheduleDeath()
+	// Every Working flip passes through here: protocol transitions call
+	// SetState via enter(), deaths via proto.Fail()->enter(Dead) (with
+	// alive already false), and crash-restarts via ReviveFrom's explicit
+	// SetState. The diff against wasWorking keeps the hook edge-triggered.
+	if w := n.Working(); w != n.wasWorking {
+		n.wasWorking = w
+		if n.network.OnWorkingChange != nil {
+			n.network.OnWorkingChange(n.id, w)
+		}
+	}
 	if n.network.OnState != nil {
 		n.network.OnState(n.id, s)
 	}
