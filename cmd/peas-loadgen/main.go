@@ -12,6 +12,7 @@
 //
 //	peas-loadgen -url http://127.0.0.1:8080 -jobs 200 -dup 0.3
 //	peas-loadgen -mode open -rate 100 -follow 0.5 -max-e2e-p99 2
+//	peas-loadgen -cancel 0.4 -hang-jobs 3 -deadline-jobs 2 -check-leaks
 //	peas-loadgen -soak -serve-bin ./peas-serve -cycles 3 -state-dir /tmp/peas-soak
 //
 // Two invocations with the same -seed submit the identical multiset of
@@ -71,6 +72,16 @@ func run() error {
 		n       = flag.Int("n", 40, "deployment size per job")
 		horizon = flag.Float64("horizon", 600, "simulated seconds per job")
 
+		// Cancellation-storm knobs. -cancel draws a seeded fraction of
+		// unambiguous jobs for cancellation at random lifecycle points;
+		// -hang-jobs and -deadline-jobs inject wedged and unmeetable-budget
+		// work whose containment the report asserts (pair -hang-jobs with a
+		// peas-serve -watchdog stall window).
+		cancelFr     = flag.Float64("cancel", 0, "fraction of jobs cancelled at seeded lifecycle points")
+		hangJobs     = flag.Int("hang-jobs", 0, "injected-hang jobs, each expected to be watchdog-preempted")
+		deadlineJobs = flag.Int("deadline-jobs", 0, "unmeetable-deadline jobs, each expected to be deadline-enforced")
+		checkLeaks   = flag.Bool("check-leaks", false, "assert post-run service hygiene: drained pool, no goroutine growth")
+
 		// Drive mode.
 		mode       = flag.String("mode", loadgen.ModeClosed, "closed (fixed concurrency) or open (fixed arrival rate)")
 		conc       = flag.Int("concurrency", 8, "closed-loop concurrent submitters")
@@ -114,6 +125,9 @@ func run() error {
 			N:              *n,
 			Horizon:        *horizon,
 			RateHz:         *rate,
+			CancelFraction: *cancelFr,
+			HangJobs:       *hangJobs,
+			DeadlineJobs:   *deadlineJobs,
 		},
 		Mode:        *mode,
 		Concurrency: *conc,
@@ -123,6 +137,7 @@ func run() error {
 			MaxSubmitP99Seconds:    *maxSubmitP99,
 			MaxE2EP99Seconds:       *maxE2EP99,
 			DuplicateRateTolerance: *dupTol,
+			CheckLeaks:             *checkLeaks,
 		},
 	}
 

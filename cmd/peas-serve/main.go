@@ -15,6 +15,7 @@
 //	POST /api/v1/jobs             submit a job (429 + Retry-After when full)
 //	GET  /api/v1/jobs             list jobs
 //	GET  /api/v1/jobs/{id}        job status + result
+//	DELETE /api/v1/jobs/{id}      request cancellation (idempotent; parks a resumable checkpoint)
 //	GET  /api/v1/jobs/{id}/events SSE lifecycle/progress stream
 //	GET  /api/v1/results/{key}    cached result by content key
 //	GET  /healthz                 liveness + build identity
@@ -61,6 +62,7 @@ func run() error {
 		stateDir  = flag.String("state-dir", "", "persist specs and drain checkpoints here (enables resume across restarts)")
 		ckptEvery = flag.Float64("checkpoint-every", 250, "drain-checkpoint cadence in simulated seconds (with -state-dir)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+		watchdog  = flag.Duration("watchdog", 0, "stall window: preempt a running job whose engine makes no event progress for this long (0 = stall detection off; deadlines are always enforced)")
 		durDelay  = flag.Duration("durable-delay", 0, "slow every state-store disk operation by this much (crash-soak test hook: widens the window a SIGKILL can land in)")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
@@ -84,6 +86,7 @@ func run() error {
 		CacheCap:        *cacheCap,
 		StateDir:        *stateDir,
 		CheckpointEvery: *ckptEvery,
+		StallWindow:     *watchdog,
 		FS:              fsys,
 	})
 	if *stateDir != "" {

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"peas"
@@ -28,7 +31,11 @@ func runRemote(url string, cfg peas.RunConfig, check bool) error {
 		Chaos:            cfg.Chaos,
 	}
 	c := client.New(url)
-	ctx := context.Background()
+	// Interrupts cancel the context mid-follow; the deferred hook below
+	// then tells the server to stop the job instead of abandoning it to
+	// burn a worker until its horizon.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Bounded retries absorb transient saturation: each 429 is retried
 	// with the server's Retry-After hint under capped exponential
@@ -48,6 +55,20 @@ func runRemote(url string, cfg peas.RunConfig, check bool) error {
 	fmt.Printf("remote:                %s\n", url)
 	fmt.Printf("job:                   %s (%s)\n", resp.Job.ID, resp.Outcome)
 	fmt.Printf("content key:           %s\n", resp.Job.Key)
+
+	// Best-effort cancellation on interrupt: the signal context is dead,
+	// so the DELETE gets its own short budget. The server parks a
+	// checkpoint, so re-running the same spec later resumes bit-exactly.
+	defer func() {
+		if ctx.Err() == nil || resp.Outcome == jobqueue.OutcomeCached {
+			return
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if cr, cerr := c.Cancel(cctx, resp.Job.ID); cerr == nil && cr.Requested {
+			fmt.Fprintf(os.Stderr, "interrupted: requested cancellation of job %s\n", resp.Job.ID)
+		}
+	}()
 
 	if resp.Outcome != jobqueue.OutcomeCached {
 		// Follow progress at ~decile granularity until the job ends.

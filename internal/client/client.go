@@ -41,6 +41,11 @@ func New(base string) *Client {
 type RetryableError struct {
 	Message    string
 	RetryAfter time.Duration
+	// Code is the server's machine-readable rejection class (api.Code*):
+	// "queue_full", "deadline_infeasible" or "persist_failed". Callers
+	// use it to choose a strategy — wait out a full queue, but loosen or
+	// drop the deadline when admission says it is infeasible.
+	Code string
 }
 
 func (e *RetryableError) Error() string {
@@ -76,7 +81,7 @@ func decodeError(resp *http.Response) error {
 		if retry == 0 {
 			retry = time.Second
 		}
-		return &RetryableError{Message: msg, RetryAfter: retry}
+		return &RetryableError{Message: msg, RetryAfter: retry, Code: body.Code}
 	}
 	return &APIError{Status: resp.StatusCode, Message: msg}
 }
@@ -196,6 +201,31 @@ func (c *Client) SubmitWithRetry(ctx context.Context, spec *jobqueue.Spec, pol R
 	}
 }
 
+// Cancel requests cancellation of a job (DELETE /api/v1/jobs/{id}).
+// The call is idempotent: Requested reports whether this request
+// initiated the stop (false when the job was already terminal or a stop
+// was already in flight), and the embedded JobInfo is the job's current
+// view. Unknown IDs return an *APIError with Status 404.
+func (c *Client) Cancel(ctx context.Context, id string) (*api.CancelResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/api/v1/jobs/"+id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	var out api.CancelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Job fetches one job by ID.
 func (c *Client) Job(ctx context.Context, id string) (*api.JobInfo, error) {
 	var out api.JobInfo
@@ -289,8 +319,10 @@ func (c *Client) Events(ctx context.Context, id string, fn func(ev jobqueue.Even
 }
 
 // Wait polls until the job reaches a terminal state and returns its
-// final JobInfo. Failed jobs yield an *APIError-free plain error with
-// the job's message; suspended jobs an explanatory error.
+// final JobInfo. Failed, cancelled and deadline-killed jobs yield a
+// plain error with the job's message; suspended jobs an explanatory
+// error. The returned JobInfo is non-nil for every terminal state so
+// callers can still inspect the job alongside the error.
 func (c *Client) Wait(ctx context.Context, id string) (*api.JobInfo, error) {
 	tick := time.NewTicker(150 * time.Millisecond)
 	defer tick.Stop()
@@ -304,6 +336,10 @@ func (c *Client) Wait(ctx context.Context, id string) (*api.JobInfo, error) {
 			return info, nil
 		case jobqueue.StateFailed:
 			return info, fmt.Errorf("job %s failed: %s", id, info.Error)
+		case jobqueue.StateCancelled:
+			return info, fmt.Errorf("job %s cancelled: %s", id, info.Error)
+		case jobqueue.StateDeadline:
+			return info, fmt.Errorf("job %s exceeded its deadline: %s", id, info.Error)
 		case jobqueue.StateSuspended:
 			return info, fmt.Errorf("job %s suspended by server shutdown; it resumes after restart", id)
 		}

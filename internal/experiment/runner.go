@@ -88,6 +88,20 @@ type RunConfig struct {
 	// so callers can compare state hashes across runs.
 	CaptureFinal bool
 
+	// Supervisor, when non-nil, is attached to the run's engine: a
+	// controller goroutine may set Supervisor.Stop to request cooperative
+	// preemption (the run loop polls it every few hundred events) and may
+	// watch Supervisor.Beat for event progress. Preemption keeps the
+	// clock at the stop point and the pending schedule intact.
+	Supervisor *sim.Supervisor
+	// OnPreempt, when non-nil, receives a full-state snapshot captured at
+	// the preemption point after a Supervisor stop: the run first drains
+	// in-flight radio frames to the next quiescent boundary (single
+	// events, no new horizon), then captures, exactly like a periodic
+	// checkpoint. The snapshot resumes bit-exact through Resume. Ignored
+	// for chaos runs — chaos state lives outside the snapshot format.
+	OnPreempt func(s *checkpoint.Snapshot)
+
 	// Chaos, when non-nil, attaches the scripted fault-plan engine to the
 	// run: channel impairments on the radio medium plus node-fault events,
 	// all derived from the plan's seed. Chaos state lives outside the
@@ -151,6 +165,10 @@ type RunStats struct {
 	PacketsSent      uint64
 	PacketsDelivered uint64
 	PacketsCollided  uint64
+	// Preempted reports that the run was stopped early by a
+	// RunConfig.Supervisor rather than finishing its horizon; the other
+	// metrics then describe the truncated trajectory.
+	Preempted bool
 	// FinalState is the end-of-run snapshot (nil unless CaptureFinal).
 	// It is excluded from JSON so RunStats can travel over the service
 	// wire; the snapshot's StateHash is reported separately.
@@ -294,8 +312,22 @@ func Run(cfg RunConfig) (*RunStats, error) {
 		scheduleCheckpoints(net, cfg.CheckpointEvery, capture, cfg.OnCheckpoint)
 	}
 
+	if cfg.Supervisor != nil {
+		net.Engine.Supervise(cfg.Supervisor)
+	}
 	net.Run(horizon)
-	if cfg.OnFinish != nil {
+	preempted := cfg.Supervisor != nil && net.Engine.Preempted()
+	if preempted && cfg.OnPreempt != nil && cfg.Chaos == nil {
+		// Preemption can land mid-transmission; checkpoints only capture
+		// at radio-quiescent boundaries, so single-step the engine until
+		// the in-flight frames settle (the same boundary the periodic
+		// scheduler waits for, reached event-by-event instead of by
+		// deferred retry).
+		for net.Medium.InFlight() > 0 && net.Engine.Step() {
+		}
+		cfg.OnPreempt(capture())
+	}
+	if cfg.OnFinish != nil && !preempted {
 		cfg.OnFinish(net)
 	}
 
@@ -337,7 +369,8 @@ func Run(cfg RunConfig) (*RunStats, error) {
 	if chaosCtl != nil {
 		res.Chaos = chaosCtl.Counters().Snapshot()
 	}
-	if cfg.CaptureFinal {
+	res.Preempted = preempted
+	if cfg.CaptureFinal && !preempted {
 		res.FinalState = capture()
 	}
 	return res, nil

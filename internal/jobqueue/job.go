@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"peas/internal/checkpoint"
+	"peas/internal/sim"
 )
 
 // State is a job's lifecycle stage.
@@ -22,9 +23,40 @@ const (
 	// StateFailed: finished with an error (including invariant-oracle
 	// violations on Check jobs); Err is set.
 	StateFailed State = "failed"
-	// StateSuspended: checkpointed during a drain; the snapshot is
-	// persisted and the job resumes after a restart + Recover.
+	// StateSuspended: checkpointed during a drain or preempted by the
+	// watchdog; the snapshot is persisted and the job resumes after a
+	// restart + Recover.
 	StateSuspended State = "suspended"
+	// StateCancelled: stopped by an explicit Cancel request. Running
+	// checkpointable work parks a resumable snapshot first, so a
+	// resubmission of the same spec continues instead of restarting.
+	StateCancelled State = "cancelled"
+	// StateDeadline: the job's DeadlineSeconds budget expired before it
+	// finished. Parks a snapshot exactly like StateCancelled.
+	StateDeadline State = "deadline_exceeded"
+)
+
+// Terminal reports whether the state is final: the job will never run
+// again under this ID and its worker slot (if it had one) is released.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateSuspended, StateCancelled, StateDeadline:
+		return true
+	}
+	return false
+}
+
+// CancelCause records why a job was asked to stop; the first request
+// wins and decides the terminal state.
+type CancelCause string
+
+const (
+	// CauseCancel: an explicit Pool.Cancel (DELETE /jobs/{id}).
+	CauseCancel CancelCause = "cancel"
+	// CauseDeadline: the DeadlineSeconds budget expired.
+	CauseDeadline CancelCause = "deadline"
+	// CauseWatchdog: no event progress within the stall window.
+	CauseWatchdog CancelCause = "watchdog"
 )
 
 // Result is what a completed job produces. Identical submissions share
@@ -67,6 +99,8 @@ const (
 	EventSuspended EventType = "suspended"
 	EventDone      EventType = "done"
 	EventFailed    EventType = "failed"
+	EventCancelled EventType = "cancelled"
+	EventDeadline  EventType = "deadline_exceeded"
 )
 
 // Event is one entry of a job's event stream. The server forwards these
@@ -109,9 +143,27 @@ type Job struct {
 	enqueuedAt time.Time
 	startedAt  time.Time
 	finishedAt time.Time
-	// resume, when set, is the drain snapshot the next run continues
-	// from (populated by Recover).
+	// resume, when set, is the drain or park snapshot the next run
+	// continues from (populated by Recover or a parked-checkpoint claim).
 	resume *checkpoint.Snapshot
+
+	// ctx is the job's lifecycle context: it is cancelled (with a cause)
+	// the moment the job reaches a terminal state, so request-scoped work
+	// tied to the job — streaming, polling, waiting — can unwind through
+	// the standard context mechanism.
+	ctx       context.Context
+	ctxCancel context.CancelCauseFunc
+
+	// super is the engine supervisor of the current run (nil unless a
+	// supervised run is executing). cancelCause records the first stop
+	// request; deadlineAt is the absolute DeadlineSeconds expiry (zero
+	// when unbounded). lastBeat/lastBeatAt track watchdog stall
+	// detection.
+	super       *sim.Supervisor
+	cancelCause CancelCause
+	deadlineAt  time.Time
+	lastBeat    uint64
+	lastBeatAt  time.Time
 
 	subs    map[int]chan Event
 	nextSub int
@@ -119,14 +171,21 @@ type Job struct {
 }
 
 func newJob(id, key string, spec *Spec, now time.Time) *Job {
-	return &Job{
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j := &Job{
 		ID:         id,
 		Key:        key,
 		Spec:       spec,
 		state:      StateQueued,
 		enqueuedAt: now,
+		ctx:        ctx,
+		ctxCancel:  cancel,
 		subs:       make(map[int]chan Event),
 	}
+	if spec.DeadlineSeconds > 0 {
+		j.deadlineAt = now.Add(time.Duration(spec.DeadlineSeconds * float64(time.Second)))
+	}
+	return j
 }
 
 // State returns the current lifecycle stage.
@@ -148,6 +207,28 @@ func (j *Job) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// Context returns the job's lifecycle context: it is done once the job
+// reaches a terminal state, with context.Cause reporting why (the
+// terminal error for failed/cancelled/deadline jobs). Callers can hang
+// request-scoped work off it instead of polling State.
+func (j *Job) Context() context.Context { return j.ctx }
+
+// Deadline returns the absolute expiry of the job's DeadlineSeconds
+// budget, if one was set.
+func (j *Job) Deadline() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deadlineAt, !j.deadlineAt.IsZero()
+}
+
+// CancelRequested reports whether a stop has been requested (or already
+// taken effect) for this job.
+func (j *Job) CancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelCause != "" || j.state == StateCancelled || j.state == StateDeadline
 }
 
 // Progress returns the last observed simulated time and working-node
@@ -208,7 +289,7 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 	j.mu.Lock()
 	ch := make(chan Event, subscriberBuffer)
 	ch <- j.snapshotEventLocked()
-	terminal := j.state == StateDone || j.state == StateFailed || j.state == StateSuspended
+	terminal := j.state.Terminal()
 	var id int
 	if terminal {
 		close(ch)
@@ -254,7 +335,7 @@ func (j *Job) Wait(ctx context.Context) (*Result, error) {
 		switch j.State() {
 		case StateDone:
 			return j.Result(), nil
-		case StateFailed:
+		case StateFailed, StateCancelled, StateDeadline:
 			return nil, j.Err()
 		case StateSuspended:
 			return nil, fmt.Errorf("jobqueue: job %s suspended by shutdown; resumes after restart", j.ID)
@@ -289,6 +370,16 @@ func (j *Job) snapshotEventLocked() Event {
 		}
 	case StateSuspended:
 		ev.Type = EventSuspended
+	case StateCancelled:
+		ev.Type = EventCancelled
+		if j.err != nil {
+			ev.Error = j.err.Error()
+		}
+	case StateDeadline:
+		ev.Type = EventDeadline
+		if j.err != nil {
+			ev.Error = j.err.Error()
+		}
 	}
 	return ev
 }
@@ -309,11 +400,119 @@ func (j *Job) publishLocked(ev Event, terminal bool) {
 	}
 }
 
-func (j *Job) markRunning(now time.Time) {
+// beginRun claims a queued job for execution. It returns false when the
+// job is no longer claimable — cancelled or deadline-killed while it sat
+// in the queue — in which case the worker must skip it.
+func (j *Job) beginRun(now time.Time) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
 	j.state = StateRunning
 	j.startedAt = now
+	j.lastBeatAt = now
 	j.publishLocked(Event{Type: EventStarted, JobID: j.ID, Horizon: j.Spec.Horizon}, false)
+	return true
+}
+
+// attachSupervisor installs the engine supervisor of the job's current
+// run. A stop requested before the run started (the cancel-vs-dequeue
+// race) is forwarded immediately so the run preempts at its first poll
+// boundary.
+func (j *Job) attachSupervisor(s *sim.Supervisor) {
+	j.mu.Lock()
+	j.super = s
+	if j.cancelCause != "" {
+		s.Stop.Store(true)
+	}
+	j.mu.Unlock()
+}
+
+// requestStop records a stop request. Queued jobs transition to their
+// terminal state immediately (queuedTerminal true — the caller must then
+// release pool-level bookkeeping); running jobs get the cause recorded
+// and their supervisor flagged, and reach the terminal state when the
+// worker acknowledges. The first cause wins; requests on terminal or
+// already-stopping jobs report effective false.
+func (j *Job) requestStop(cause CancelCause, now time.Time) (queuedTerminal, effective bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.cancelCause != "" {
+		return false, false
+	}
+	if j.state == StateQueued {
+		j.cancelCause = cause
+		j.terminalStopLocked(cause, now)
+		return true, true
+	}
+	j.cancelCause = cause
+	if j.super != nil {
+		j.super.Stop.Store(true)
+	}
+	return false, true
+}
+
+// stopCause returns the recorded stop cause ("" when none).
+func (j *Job) stopCause() CancelCause {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelCause
+}
+
+// checkStall advances watchdog bookkeeping for a running supervised job
+// and fires a preemption when the heartbeat has not moved within window.
+// It returns true exactly once per stall (the first cause wins).
+func (j *Job) checkStall(now time.Time, window time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.super == nil {
+		return false
+	}
+	beat := j.super.Beat.Load()
+	if beat != j.lastBeat || j.lastBeatAt.IsZero() {
+		j.lastBeat = beat
+		j.lastBeatAt = now
+		return false
+	}
+	if now.Sub(j.lastBeatAt) < window || j.cancelCause != "" {
+		return false
+	}
+	j.cancelCause = CauseWatchdog
+	j.super.Stop.Store(true)
+	return true
+}
+
+// terminalStopLocked finalizes a cancel/deadline stop: state, error,
+// terminal event, lifecycle-context cancellation.
+func (j *Job) terminalStopLocked(cause CancelCause, now time.Time) {
+	switch cause {
+	case CauseDeadline:
+		j.state = StateDeadline
+		j.err = fmt.Errorf("jobqueue: job %s exceeded its %gs deadline", j.ID, j.Spec.DeadlineSeconds)
+		j.finishedAt = now
+		j.publishLocked(Event{Type: EventDeadline, JobID: j.ID, SimT: j.simT, Error: j.err.Error()}, true)
+	default:
+		j.state = StateCancelled
+		j.err = fmt.Errorf("jobqueue: job %s cancelled", j.ID)
+		j.finishedAt = now
+		j.publishLocked(Event{Type: EventCancelled, JobID: j.ID, SimT: j.simT, Error: j.err.Error()}, true)
+	}
+	j.ctxCancel(j.err)
+}
+
+// markCancelled and markDeadline are the worker-side acknowledgements of
+// a stop: the run has been preempted (and any snapshot parked), so the
+// job reaches its terminal state.
+func (j *Job) markCancelled(now time.Time) {
+	j.mu.Lock()
+	j.terminalStopLocked(CauseCancel, now)
+	j.mu.Unlock()
+}
+
+func (j *Job) markDeadline(now time.Time) {
+	j.mu.Lock()
+	j.terminalStopLocked(CauseDeadline, now)
 	j.mu.Unlock()
 }
 
@@ -342,6 +541,7 @@ func (j *Job) markDone(res *Result, now time.Time) {
 	j.result = res
 	j.finishedAt = now
 	j.publishLocked(Event{Type: EventDone, JobID: j.ID, Result: res}, true)
+	j.ctxCancel(errJobFinished)
 	j.mu.Unlock()
 }
 
@@ -351,6 +551,7 @@ func (j *Job) markFailed(err error, now time.Time) {
 	j.err = err
 	j.finishedAt = now
 	j.publishLocked(Event{Type: EventFailed, JobID: j.ID, Error: err.Error()}, true)
+	j.ctxCancel(err)
 	j.mu.Unlock()
 }
 
@@ -359,5 +560,14 @@ func (j *Job) markSuspended(now time.Time) {
 	j.state = StateSuspended
 	j.finishedAt = now
 	j.publishLocked(Event{Type: EventSuspended, JobID: j.ID, SimT: j.simT}, true)
+	j.ctxCancel(errJobSuspended)
 	j.mu.Unlock()
 }
+
+// errJobFinished and errJobSuspended are the lifecycle-context causes of
+// the non-error terminal states (context.Cause never reports nil once a
+// context is cancelled, so each terminal state gets a distinct cause).
+var (
+	errJobFinished  = fmt.Errorf("jobqueue: job finished")
+	errJobSuspended = fmt.Errorf("jobqueue: job suspended")
+)

@@ -65,6 +65,15 @@ type Config struct {
 	// is dequeued and before its simulation starts. Tests use it to
 	// hold workers at a barrier.
 	BeforeRun func(j *Job)
+	// StallWindow enables watchdog stall detection: a running supervised
+	// job whose engine heartbeat does not advance for this long is
+	// preempted into the suspended state (0 disables stall detection;
+	// deadline enforcement is always on). Sweep jobs aggregate many runs
+	// without a single engine heartbeat and are exempt.
+	StallWindow time.Duration
+	// WatchdogInterval overrides the supervision scan cadence (0 = auto:
+	// 100ms, or StallWindow/4 when that is shorter, floored at 10ms).
+	WatchdogInterval time.Duration
 }
 
 // QueueFullError is the admission-control rejection: the queue is at
@@ -100,6 +109,25 @@ func (e *PersistError) Error() string {
 }
 
 func (e *PersistError) Unwrap() error { return e.Err }
+
+// DeadlineInfeasibleError is the deadline-aware admission rejection: the
+// observed queue-wait distribution says the job would blow its
+// DeadlineSeconds budget before a worker even picks it up, so admitting
+// it would only burn a queue slot on doomed work. The HTTP layer maps it
+// to 429 with a Retry-After header, like QueueFullError.
+type DeadlineInfeasibleError struct {
+	// DeadlineSeconds is the budget the submission carried.
+	DeadlineSeconds float64
+	// EstimatedWait is the queue-wait estimate that exceeded it.
+	EstimatedWait time.Duration
+	// RetryAfter is the suggested backoff.
+	RetryAfter time.Duration
+}
+
+func (e *DeadlineInfeasibleError) Error() string {
+	return fmt.Sprintf("jobqueue: %gs deadline infeasible (estimated queue wait %s); retry after %s",
+		e.DeadlineSeconds, e.EstimatedWait, e.RetryAfter)
+}
 
 // Outcome reports how a submission was satisfied.
 type Outcome string
@@ -155,6 +183,20 @@ type Pool struct {
 	queued    int
 	running   int
 	wallTotal float64
+
+	// parked holds resumable checkpoints left by cancelled/deadline-
+	// killed runs, indexed by content key: a later submission of the
+	// same spec claims the snapshot and continues where the preempted
+	// run stopped, bit-exactly. Bounded like the cache (CacheCap, FIFO).
+	parked    map[string]*parkedEntry
+	parkedSeq []string
+}
+
+// parkedEntry is one preempted run's leftover: the snapshot plus the job
+// ID its on-disk spec/checkpoint files are filed under.
+type parkedEntry struct {
+	id   string
+	snap *checkpoint.Snapshot
 }
 
 // New builds a pool. Call Start to launch the workers.
@@ -191,15 +233,18 @@ func New(cfg Config) *Pool {
 		jobs:      make(map[string]*Job),
 		inflight:  make(map[string]*Job),
 		cache:     make(map[string]*Result),
+		parked:    make(map[string]*parkedEntry),
 	}
 }
 
-// Start launches the worker goroutines.
+// Start launches the worker goroutines and the watchdog.
 func (p *Pool) Start() {
 	for i := 0; i < p.cfg.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
 	}
+	p.wg.Add(1)
+	go p.watchdog()
 }
 
 // Counters exposes the shared operational counter set.
@@ -251,9 +296,35 @@ func (p *Pool) Submit(spec *Spec) (*Job, Outcome, error) {
 		p.mu.Unlock()
 		return nil, "", &QueueFullError{Depth: p.cfg.QueueDepth, RetryAfter: retry}
 	}
+	if wait, infeasible := p.deadlineInfeasibleLocked(spec.DeadlineSeconds); infeasible {
+		retry := p.retryAfterLocked()
+		p.counters.Add("deadline_rejected", 1)
+		p.mu.Unlock()
+		return nil, "", &DeadlineInfeasibleError{
+			DeadlineSeconds: spec.DeadlineSeconds,
+			EstimatedWait:   wait,
+			RetryAfter:      retry,
+		}
+	}
 	job := p.newJobLocked(key, spec, now)
 	p.inflight[key] = job
 	p.queued++
+	// A parked checkpoint from a cancelled/deadline-killed run of this
+	// exact spec is claimed here: the new job resumes where the preempted
+	// one stopped instead of restarting. Determinism makes the splice
+	// invisible — the final StateHash is the uninterrupted run's.
+	var claimed *parkedEntry
+	if ent, ok := p.parked[key]; ok {
+		delete(p.parked, key)
+		for i, k := range p.parkedSeq {
+			if k == key {
+				p.parkedSeq = append(p.parkedSeq[:i], p.parkedSeq[i+1:]...)
+				break
+			}
+		}
+		claimed = ent
+		job.resume = ent.snap
+	}
 	p.mu.Unlock()
 
 	// Persist BEFORE the job becomes runnable. Accepted must mean
@@ -266,8 +337,42 @@ func (p *Pool) Submit(spec *Spec) (*Job, Outcome, error) {
 		p.rollbackAdmission(job, err)
 		return nil, "", &PersistError{Err: err}
 	}
+	if claimed != nil {
+		// Re-home the claimed snapshot under the new job's ID. Best
+		// effort: if the copy fails, a crash loses only the resume
+		// optimization — the new spec restarts from scratch and, by
+		// determinism, still produces the identical result.
+		if job.resume != nil && p.cfg.StateDir != "" {
+			if err := p.persistSnapshot(job, job.resume); err != nil {
+				p.counters.Add("persist_errors", 1)
+			}
+		}
+		p.removeJobFiles(claimed.id)
+		p.counters.Add("parked_resumed", 1)
+	}
 	p.queue <- job // cannot block: queued < QueueDepth is checked under mu
 	return job, OutcomeAccepted, nil
+}
+
+// deadlineInfeasibleLocked estimates (under p.mu) whether a job with the
+// given deadline budget could plausibly start in time. With an empty
+// queue any deadline is feasible — a worker reaches the job next. With a
+// backlog, the median of the observed queue-wait histogram is the
+// estimate; it needs a minimum sample count so a cold service never
+// rejects on noise.
+func (p *Pool) deadlineInfeasibleLocked(deadlineSeconds float64) (time.Duration, bool) {
+	if deadlineSeconds <= 0 || p.queued == 0 {
+		return 0, false
+	}
+	const minSamples = 8
+	if p.queueWait.Count() < minSamples {
+		return 0, false
+	}
+	wait := p.queueWait.Quantile(0.5)
+	if wait > deadlineSeconds {
+		return time.Duration(wait * float64(time.Second)), true
+	}
+	return 0, false
 }
 
 // rollbackAdmission withdraws a job that was registered but never made
@@ -316,6 +421,92 @@ func (p *Pool) retryAfterLocked() time.Duration {
 		d = time.Minute
 	}
 	return d
+}
+
+// Cancel requests cancellation of a job by ID. Unknown IDs report found
+// false. Queued jobs transition to cancelled immediately; running jobs
+// are preempted at the engine's next supervisor poll (checkpointable
+// runs park a resumable snapshot first) and reach cancelled when the
+// worker acknowledges; terminal jobs are left untouched (requested
+// false). Cancellation is best-effort by design: a job that finishes
+// before the preemption lands stays done.
+func (p *Pool) Cancel(id string) (job *Job, found, requested bool) {
+	p.mu.Lock()
+	j, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return nil, false, false
+	}
+	return j, true, p.stop(j, CauseCancel)
+}
+
+// stop routes a stop request to a job and settles the pool-level
+// bookkeeping when the job went terminal while still queued (its worker
+// never ran, so nobody else will release the coalescing entry or the
+// persisted spec).
+func (p *Pool) stop(j *Job, cause CancelCause) bool {
+	queuedTerminal, effective := j.requestStop(cause, time.Now())
+	if !effective {
+		return false
+	}
+	if queuedTerminal {
+		if cause == CauseDeadline {
+			p.counters.Add("jobs_deadline_exceeded", 1)
+		} else {
+			p.counters.Add("jobs_cancelled", 1)
+		}
+		p.removeJobFiles(j.ID)
+		p.finishJob(j, nil, 0)
+	}
+	return true
+}
+
+// watchdog is the supervision loop: on every tick it enforces deadline
+// budgets on queued and running jobs and, when a stall window is
+// configured, preempts running jobs whose engine heartbeat stopped
+// advancing. It exits with the workers on Shutdown.
+func (p *Pool) watchdog() {
+	defer p.wg.Done()
+	interval := p.cfg.WatchdogInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+		if w := p.cfg.StallWindow; w > 0 && w/4 < interval {
+			interval = w / 4
+		}
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case now := <-tick.C:
+			p.superviseOnce(now)
+		}
+	}
+}
+
+// superviseOnce runs one watchdog scan over the non-terminal jobs (the
+// coalescing index holds exactly those).
+func (p *Pool) superviseOnce(now time.Time) {
+	p.mu.Lock()
+	active := make([]*Job, 0, len(p.inflight))
+	for _, j := range p.inflight {
+		active = append(active, j)
+	}
+	p.mu.Unlock()
+	for _, j := range active {
+		if at, ok := j.Deadline(); ok && now.After(at) {
+			p.stop(j, CauseDeadline)
+			continue
+		}
+		if w := p.cfg.StallWindow; w > 0 && j.checkStall(now, w) {
+			p.counters.Add("watchdog_stalls", 1)
+		}
+	}
 }
 
 // Get returns a job by ID.
@@ -425,10 +616,16 @@ func (p *Pool) execute(job *Job) {
 		p.cfg.BeforeRun(job)
 	}
 	dequeued := time.Now()
+	if !job.beginRun(dequeued) {
+		// Cancelled or deadline-killed while queued: the stop path
+		// already made the job terminal and released its bookkeeping;
+		// the queue slot just carried a husk.
+		p.finishJob(job, nil, 0)
+		return
+	}
 	if enq, _, _ := job.Times(); !enq.IsZero() {
 		p.queueWait.Observe(dequeued.Sub(enq).Seconds())
 	}
-	job.markRunning(dequeued)
 
 	var (
 		res  *Result
@@ -440,8 +637,42 @@ func (p *Pool) execute(job *Job) {
 	wall := time.Since(start).Seconds()
 	p.runDur.Observe(wall)
 
+	// The recorded stop cause decides how a preempted run terminates. A
+	// completed result always wins: a cancel that lands after the last
+	// event is a no-op, not a retroactive kill.
+	cause := job.stopCause()
 	now := time.Now()
 	switch {
+	case res != nil:
+		res.WallSeconds = wall
+		p.counters.Add("jobs_completed", 1)
+		p.counters.Add("runs_executed", 1)
+		job.markDone(res, now)
+		p.removeJobFiles(job.ID)
+		p.finishJob(job, res, wall)
+	case snap != nil && (cause == CauseCancel || cause == CauseDeadline):
+		// Cancelled/deadline-killed mid-run with a checkpoint in hand:
+		// park it under the content key so a resubmission of the same
+		// spec resumes bit-exactly instead of starting over.
+		p.park(job, snap)
+		if cause == CauseDeadline {
+			p.counters.Add("jobs_deadline_exceeded", 1)
+			job.markDeadline(now)
+		} else {
+			p.counters.Add("jobs_cancelled", 1)
+			job.markCancelled(now)
+		}
+		p.finishJob(job, nil, wall)
+	case snap != nil && cause == CauseWatchdog:
+		// Stalled run preempted with a checkpoint: suspend it like a
+		// drain would, so a restart resumes it.
+		if perr := p.persistSnapshot(job, snap); perr != nil {
+			p.counters.Add("persist_errors", 1)
+		}
+		p.counters.Add("watchdog_preemptions", 1)
+		p.counters.Add("jobs_suspended", 1)
+		job.markSuspended(now)
+		p.finishJob(job, nil, wall)
 	case snap != nil:
 		// Drain checkpoint: persist and suspend.
 		if perr := p.persistSnapshot(job, snap); perr != nil {
@@ -459,18 +690,81 @@ func (p *Pool) execute(job *Job) {
 		p.counters.Add("jobs_suspended", 1)
 		job.markSuspended(now)
 		p.finishJob(job, nil, wall)
+	case err == errPreempted:
+		// Preempted without a checkpoint (chaos run, no state dir, or
+		// the injected hang probe).
+		switch cause {
+		case CauseDeadline:
+			p.counters.Add("jobs_deadline_exceeded", 1)
+			job.markDeadline(now)
+			p.removeJobFiles(job.ID)
+		case CauseWatchdog:
+			p.counters.Add("watchdog_preemptions", 1)
+			if p.cfg.StateDir != "" && !job.Spec.Hang {
+				// The persisted spec lets Recover restart it.
+				p.counters.Add("jobs_suspended", 1)
+				job.markSuspended(now)
+			} else {
+				p.counters.Add("jobs_failed", 1)
+				job.markFailed(fmt.Errorf("jobqueue: job %s preempted by watchdog: no event progress within %s", job.ID, p.cfg.StallWindow), now)
+				p.removeJobFiles(job.ID)
+			}
+		default:
+			p.counters.Add("jobs_cancelled", 1)
+			job.markCancelled(now)
+			p.removeJobFiles(job.ID)
+		}
+		p.finishJob(job, nil, wall)
 	case err != nil:
 		p.counters.Add("jobs_failed", 1)
 		job.markFailed(err, now)
 		p.removeJobFiles(job.ID)
 		p.finishJob(job, nil, wall)
 	default:
-		res.WallSeconds = wall
-		p.counters.Add("jobs_completed", 1)
-		p.counters.Add("runs_executed", 1)
-		job.markDone(res, now)
+		// runGuarded returned neither result, snapshot nor error — only
+		// reachable through a bug; fail loudly rather than wedge waiters.
+		p.counters.Add("jobs_failed", 1)
+		job.markFailed(fmt.Errorf("jobqueue: job %s produced no outcome", job.ID), now)
 		p.removeJobFiles(job.ID)
-		p.finishJob(job, res, wall)
+		p.finishJob(job, nil, wall)
+	}
+}
+
+// park stores a preempted run's snapshot — in memory under the content
+// key (bounded FIFO, like the cache) and on disk as a Parked spec +
+// checkpoint pair so the entry survives a restart without Recover
+// resurrecting the cancelled job as runnable work.
+func (p *Pool) park(job *Job, snap *checkpoint.Snapshot) {
+	if err := p.persistPark(job, snap); err != nil {
+		// Disk park failed: drop the files so a restart cannot see a
+		// half-written pair, and keep the in-memory entry (its loss on
+		// crash costs only the resume optimization).
+		p.counters.Add("persist_errors", 1)
+		p.removeJobFiles(job.ID)
+	}
+	var evicted []string
+	p.mu.Lock()
+	if _, dup := p.parked[job.Key]; !dup {
+		p.parked[job.Key] = &parkedEntry{id: job.ID, snap: snap}
+		p.parkedSeq = append(p.parkedSeq, job.Key)
+		for len(p.parkedSeq) > p.cfg.CacheCap {
+			old := p.parkedSeq[0]
+			p.parkedSeq = p.parkedSeq[1:]
+			if ent, ok := p.parked[old]; ok {
+				evicted = append(evicted, ent.id)
+				delete(p.parked, old)
+			}
+		}
+	} else {
+		// A parked entry for this key already exists (possible only
+		// through recovery edge cases); keep the older one.
+		evicted = append(evicted, job.ID)
+	}
+	p.mu.Unlock()
+	p.counters.Add("jobs_parked", 1)
+	for _, id := range evicted {
+		p.counters.Add("parked_evicted", 1)
+		p.removeJobFiles(id)
 	}
 }
 
@@ -491,6 +785,9 @@ func (p *Pool) runGuarded(job *Job) (res *Result, snap *checkpoint.Snapshot, err
 	if job.Spec.Panic {
 		panic("injected panic (spec.panic): crash-soak panic-isolation probe")
 	}
+	if job.Spec.Hang {
+		return p.hangProbe(job)
+	}
 	switch job.Spec.Kind {
 	case KindSweep:
 		res, err = p.executeSweep(job)
@@ -498,6 +795,25 @@ func (p *Pool) runGuarded(job *Job) (res *Result, snap *checkpoint.Snapshot, err
 		res, snap, err = p.executeRun(job)
 	}
 	return res, snap, err
+}
+
+// hangProbe is the injected stall fault: the worker occupies its slot
+// making no event progress — the supervisor's heartbeat never advances —
+// until the watchdog (or a cancel/deadline/drain) stops it. It models
+// the recoverable half of "stuck worker": model code that still reaches
+// the cooperative poll boundary without progressing. A callback that
+// never yields at all cannot be preempted in-process — the watchdog can
+// only detect it (see DESIGN.md §15).
+func (p *Pool) hangProbe(job *Job) (*Result, *checkpoint.Snapshot, error) {
+	super := &sim.Supervisor{}
+	job.attachSupervisor(super)
+	for !super.Stop.Load() {
+		if p.drainStop.Load() {
+			return nil, nil, errAbortRestartable
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, nil, errPreempted
 }
 
 // finishJob updates the shared indexes after a terminal transition:
@@ -542,6 +858,7 @@ func (p *Pool) executeRun(job *Job) (*Result, *checkpoint.Snapshot, error) {
 		checker *oracle.Checker
 		aborted atomic.Bool
 		snap    *checkpoint.Snapshot
+		presnap *checkpoint.Snapshot
 	)
 	cfg.OnNetwork = func(net *node.Network) {
 		eng = net.Engine
@@ -549,6 +866,12 @@ func (p *Pool) executeRun(job *Job) (*Result, *checkpoint.Snapshot, error) {
 			checker = oracle.Attach(net, oracle.DefaultConfig())
 		}
 	}
+	// The supervisor is the cancel/deadline/watchdog control surface of
+	// the run: the engine heartbeats through it and honors its stop flag
+	// at the next poll boundary.
+	super := &sim.Supervisor{}
+	job.attachSupervisor(super)
+	cfg.Supervisor = super
 	checkpointable := p.cfg.StateDir != "" && spec.Kind != KindChaos
 	cfg.OnSample = func(t float64, working int, _ []float64) {
 		job.observeProgress(t, working)
@@ -569,6 +892,9 @@ func (p *Pool) executeRun(job *Job) (*Result, *checkpoint.Snapshot, error) {
 			snap = s
 			return true
 		}
+		// A supervisor preemption captures at the stop point, so the
+		// interrupted work is parked or suspended, never discarded.
+		cfg.OnPreempt = func(s *checkpoint.Snapshot) { presnap = s }
 	}
 
 	var meter perf.AllocMeter
@@ -580,6 +906,13 @@ func (p *Pool) executeRun(job *Job) (*Result, *checkpoint.Snapshot, error) {
 	allocs := meter.Allocs()
 	if snap != nil {
 		return nil, snap, nil
+	}
+	if presnap != nil {
+		return nil, presnap, nil
+	}
+	if stats.Preempted {
+		// Preempted but nothing to capture (chaos or no state dir).
+		return nil, nil, errPreempted
 	}
 	if aborted.Load() {
 		if p.cfg.StateDir != "" {
@@ -614,6 +947,11 @@ func (p *Pool) executeRun(job *Job) (*Result, *checkpoint.Snapshot, error) {
 // errAbortRestartable marks a chaos run interrupted by a drain whose
 // spec remains persisted; execute maps it to the suspended state.
 var errAbortRestartable = fmt.Errorf("jobqueue: aborted by shutdown; restartable from spec")
+
+// errPreempted marks a run stopped by its supervisor without a
+// checkpoint to show for it; execute maps it to a terminal state by the
+// job's recorded stop cause.
+var errPreempted = fmt.Errorf("jobqueue: preempted by supervisor")
 
 // executeSweep performs a sweep job via the §5.2 deployment sweep.
 // Sweeps aggregate many runs, so they report no single StateHash and do

@@ -38,7 +38,8 @@ const (
 // specKeyVersion is bumped whenever the canonical spec encoding changes,
 // so stale persisted state can never alias a new-format key.
 // v2: the Panic fault-injection flag joined the encoding.
-const specKeyVersion uint32 = 2
+// v3: the Hang fault-injection flag joined the encoding.
+const specKeyVersion uint32 = 3
 
 // SweepSpec configures a deployment sweep job: the §5.2 varying-
 // population experiment run as one service job.
@@ -86,6 +87,20 @@ type Spec struct {
 	// daemon survive. It participates in the content key like any other
 	// field (a panic job must never alias a real run's cached result).
 	Panic bool `json:"panic,omitempty"`
+	// Hang is service-level fault injection: the job's worker wedges —
+	// occupying its slot while making no event progress — until the
+	// watchdog preempts it (or a drain aborts it). It exists so the
+	// cancellation-storm harness can prove stall supervision end to end.
+	// Like Panic it participates in the content key.
+	Hang bool `json:"hang,omitempty"`
+	// DeadlineSeconds, when positive, bounds the job end to end: the
+	// budget starts at admission, and a job that has not finished when it
+	// expires is preempted into the deadline_exceeded state (running
+	// checkpointable work parks a resumable snapshot first). It is a
+	// scheduling constraint, not a simulation input, so it is EXCLUDED
+	// from the content key — two submissions differing only in deadline
+	// mean the same run and must coalesce/cache-hit onto one result.
+	DeadlineSeconds float64 `json:"deadlineSeconds,omitempty"`
 }
 
 // NewSimSpec returns a plain simulation spec with the paper's default
@@ -155,6 +170,9 @@ func (s *Spec) Normalize() error {
 		return fmt.Errorf("jobqueue: %d node seeds for %d nodes", len(s.Network.NodeSeeds), s.Network.N)
 	}
 
+	if math.IsNaN(s.DeadlineSeconds) || math.IsInf(s.DeadlineSeconds, 0) || s.DeadlineSeconds < 0 {
+		return fmt.Errorf("jobqueue: deadlineSeconds must be a finite non-negative number, got %v", s.DeadlineSeconds)
+	}
 	if s.Kind != KindSweep && s.Horizon <= 0 {
 		s.Horizon = experiment.DefaultHorizon(s.Network.N)
 	}
@@ -205,6 +223,9 @@ func (s *Spec) Key() string {
 	buf = appendJSONSection(buf, s.Chaos != nil, s.Chaos)
 	buf = appendJSONSection(buf, s.Sweep != nil, s.Sweep)
 	buf = appendBool(buf, s.Panic)
+	buf = appendBool(buf, s.Hang)
+	// DeadlineSeconds is deliberately absent: it constrains scheduling,
+	// not the simulation, so deadline-differing duplicates share one run.
 	sum := sha256.Sum256(buf)
 	return hex.EncodeToString(sum[:])
 }

@@ -42,6 +42,11 @@ type specFile struct {
 	ID   string `json:"id"`
 	Key  string `json:"key"`
 	Spec *Spec  `json:"spec"`
+	// Parked marks the pair as a cancelled/deadline-killed run's leftover
+	// checkpoint: Recover loads it into the parked index (claimable by a
+	// resubmission of the same spec) instead of re-enqueueing the job —
+	// a cancelled job must never resurrect as runnable work.
+	Parked bool `json:"parked,omitempty"`
 }
 
 // fsys returns the filesystem the store runs on (the real one unless a
@@ -83,6 +88,25 @@ func (p *Pool) persistSnapshot(job *Job, snap *checkpoint.Snapshot) error {
 		return fmt.Errorf("no state dir configured")
 	}
 	return durable.WriteFile(p.fsys(), p.ckptPath(job.ID), snap.EncodeBytes())
+}
+
+// persistPark rewrites a preempted job's spec with the Parked marker and
+// writes its checkpoint beside it. Ordering matters for crash safety:
+// the checkpoint lands first, so a crash between the writes leaves a
+// plain spec + checkpoint pair — which Recover treats as an ordinary
+// resumable job, never a half-parked one.
+func (p *Pool) persistPark(job *Job, snap *checkpoint.Snapshot) error {
+	if p.cfg.StateDir == "" {
+		return nil
+	}
+	if err := p.persistSnapshot(job, snap); err != nil {
+		return err
+	}
+	data, err := json.Marshal(specFile{ID: job.ID, Key: job.Key, Spec: job.Spec, Parked: true})
+	if err != nil {
+		return err
+	}
+	return durable.WriteFile(p.fsys(), p.specPath(job.ID), data)
 }
 
 // removeJobFiles clears a completed job's persisted state.
@@ -206,6 +230,45 @@ func (p *Pool) Recover() (int, error) {
 				p.counters.Add("checkpoints_quarantined", 1)
 				snap = nil
 			}
+		}
+
+		if sf.Parked {
+			// A cancelled/deadline-killed run's parked checkpoint: load
+			// it into the claim index, never the run queue. A parked
+			// spec whose checkpoint was lost has nothing left to claim.
+			if snap == nil {
+				p.quarantine(id + ".spec.json")
+				p.counters.Add("jobs_quarantined", 1)
+				continue
+			}
+			dup := false
+			var evicted []string
+			p.mu.Lock()
+			if _, ok := p.parked[key]; ok {
+				dup = true
+			} else {
+				p.parked[key] = &parkedEntry{id: id, snap: snap}
+				p.parkedSeq = append(p.parkedSeq, key)
+				for len(p.parkedSeq) > p.cfg.CacheCap {
+					old := p.parkedSeq[0]
+					p.parkedSeq = p.parkedSeq[1:]
+					if ent, ok := p.parked[old]; ok {
+						evicted = append(evicted, ent.id)
+						delete(p.parked, old)
+					}
+				}
+			}
+			p.mu.Unlock()
+			if dup {
+				p.removeJobFiles(id)
+			} else {
+				p.counters.Add("jobs_parked_recovered", 1)
+			}
+			for _, eid := range evicted {
+				p.counters.Add("parked_evicted", 1)
+				p.removeJobFiles(eid)
+			}
+			continue
 		}
 
 		p.mu.Lock()

@@ -75,6 +75,26 @@ type Mix struct {
 	// must land in the failed state with a stack trace while the worker
 	// pool keeps executing everything around it.
 	PanicJobs int `json:"panicJobs,omitempty"`
+	// CancelFraction is the probability that a submission is cancelled
+	// at a seeded point in its lifecycle (0 = none). Cancel timing is
+	// drawn uniformly over a short window, so cancels land while queued,
+	// mid-run, or after completion (a deliberate race — cancellation is
+	// best-effort, and a cancel that loses to completion must leave the
+	// job done). Fault-injection items (panic, hang, deadline) are never
+	// cancel candidates: their expected outcome would become ambiguous.
+	CancelFraction float64 `json:"cancelFraction,omitempty"`
+	// HangJobs inserts this many distinct jobs carrying the injected
+	// Spec.Hang fault (0 = none). Each wedges its worker without event
+	// progress; with a stall window configured on the server, the
+	// watchdog must preempt every one (failed state, watchdog message)
+	// while the surrounding jobs keep completing.
+	HangJobs int `json:"hangJobs,omitempty"`
+	// DeadlineJobs inserts this many big-deployment jobs carrying a
+	// DeadlineSeconds budget far below their multi-second runtime
+	// (0 = none). Each must be killed by deadline enforcement — either
+	// deadline_exceeded after admission or fast-rejected as infeasible —
+	// never completed and never lost.
+	DeadlineJobs int `json:"deadlineJobs,omitempty"`
 }
 
 func (m Mix) withDefaults() Mix {
@@ -117,6 +137,18 @@ type Item struct {
 	// Panic marks an injected-panic job: it is expected to fail (with
 	// the panic stack in its error) rather than complete.
 	Panic bool
+	// Cancel marks a submission the runner cancels CancelAfter after
+	// submitting; its expected terminal state is cancelled or — when the
+	// cancel loses the race — done.
+	Cancel bool
+	// CancelAfter is the seeded delay between submit and DELETE.
+	CancelAfter time.Duration
+	// Hang marks an injected-hang job: expected to be preempted by the
+	// server's watchdog (failed state, watchdog message).
+	Hang bool
+	// Deadline is the job's DeadlineSeconds budget (0 = unbounded);
+	// planned deadline jobs carry one their runtime cannot meet.
+	Deadline float64
 	// Arrival is the open-loop arrival offset from the run start.
 	Arrival time.Duration
 }
@@ -133,6 +165,9 @@ func Plan(mix Mix) ([]Item, error) {
 	}
 	if mix.ChaosFraction < 0 || mix.ChaosFraction > 1 {
 		return nil, fmt.Errorf("loadgen: chaos fraction %v outside [0,1]", mix.ChaosFraction)
+	}
+	if mix.CancelFraction < 0 || mix.CancelFraction > 1 {
+		return nil, fmt.Errorf("loadgen: cancel fraction %v outside [0,1]", mix.CancelFraction)
 	}
 
 	rng := stats.NewRNG(mix.Seed)
@@ -165,6 +200,21 @@ func Plan(mix Mix) ([]Item, error) {
 		return minted{spec: spec, key: spec.Key()}, nil
 	}
 
+	// drawCancel marks an item for a seeded cancellation. Every RNG draw
+	// is gated on the knob so zero-knob mixes keep the exact draw sequence
+	// (and hence key multiset) they had before cancellation existed.
+	// Duplicates are never candidates: a cancel on a coalesced submission
+	// would kill the shared primary job and make both outcomes ambiguous.
+	drawCancel := func(it *Item) {
+		if mix.CancelFraction <= 0 || it.Duplicate {
+			return
+		}
+		if rng.Float64() < mix.CancelFraction {
+			it.Cancel = true
+			it.CancelAfter = time.Duration(rng.Float64() * float64(200*time.Millisecond))
+		}
+	}
+
 	for i := 0; i < mix.Jobs; i++ {
 		// Poisson arrivals: exponential inter-arrival gaps at RateHz.
 		arrival += time.Duration(rng.Exp(mix.RateHz) * float64(time.Second))
@@ -180,6 +230,7 @@ func Plan(mix Mix) ([]Item, error) {
 			distinct = append(distinct, m)
 			it.Spec, it.Key = m.spec, m.key
 		}
+		drawCancel(&it)
 		items = append(items, it)
 	}
 	for i := 0; i < mix.PanicJobs; i++ {
@@ -197,15 +248,46 @@ func Plan(mix Mix) ([]Item, error) {
 			Index: len(items), Spec: spec, Key: spec.Key(), Panic: true, Arrival: arrival,
 		})
 	}
+	for i := 0; i < mix.HangJobs; i++ {
+		arrival += time.Duration(rng.Exp(mix.RateHz) * float64(time.Second))
+		spec := &jobqueue.Spec{
+			Network:          node.DefaultConfig(mix.N, rng.Int63()),
+			FailuresPer5000s: experiment.BaseFailuresPer5000,
+			Horizon:          mix.Horizon,
+			Hang:             true,
+		}
+		if err := spec.Normalize(); err != nil {
+			return nil, fmt.Errorf("loadgen: synthesized invalid hang spec: %w", err)
+		}
+		items = append(items, Item{
+			Index: len(items), Spec: spec, Key: spec.Key(), Hang: true, Arrival: arrival,
+		})
+	}
+	for i := 0; i < mix.DeadlineJobs; i++ {
+		arrival += time.Duration(rng.Exp(mix.RateHz) * float64(time.Second))
+		// Big deployments (multi-second runs) with a 250ms budget: the
+		// deadline can never be met, so enforcement — not luck — decides
+		// the outcome.
+		m, err := mint(mix.LongN, mix.LongHorizon, true)
+		if err != nil {
+			return nil, err
+		}
+		m.spec.DeadlineSeconds = 0.25
+		items = append(items, Item{
+			Index: len(items), Spec: m.spec, Key: m.key, Deadline: 0.25, Arrival: arrival,
+		})
+	}
 	for i := 0; i < mix.LongJobs; i++ {
 		arrival += time.Duration(rng.Exp(mix.RateHz) * float64(time.Second))
 		m, err := mint(mix.LongN, mix.LongHorizon, true)
 		if err != nil {
 			return nil, err
 		}
-		items = append(items, Item{
+		it := Item{
 			Index: len(items), Spec: m.spec, Key: m.key, Long: true, Arrival: arrival,
-		})
+		}
+		drawCancel(&it)
+		items = append(items, it)
 	}
 	return items, nil
 }
@@ -215,6 +297,39 @@ func planPanicJobs(items []Item) int {
 	n := 0
 	for _, it := range items {
 		if it.Panic {
+			n++
+		}
+	}
+	return n
+}
+
+// planCancels counts the planned cancelled submissions.
+func planCancels(items []Item) int {
+	n := 0
+	for _, it := range items {
+		if it.Cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// planHangJobs counts the planned injected-hang submissions.
+func planHangJobs(items []Item) int {
+	n := 0
+	for _, it := range items {
+		if it.Hang {
+			n++
+		}
+	}
+	return n
+}
+
+// planDeadlineJobs counts the planned unmeetable-deadline submissions.
+func planDeadlineJobs(items []Item) int {
+	n := 0
+	for _, it := range items {
+		if it.Deadline > 0 {
 			n++
 		}
 	}

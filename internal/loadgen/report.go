@@ -24,6 +24,11 @@ type SLO struct {
 	// drain the server on purpose; a plain load run treats suspension
 	// as a lost job).
 	AllowSuspended bool `json:"allowSuspended,omitempty"`
+	// CheckLeaks asserts the service came out of the run clean: no
+	// orphaned workers (in-flight and queue depth drained to zero) and
+	// no goroutine growth beyond slack. The cancellation storm sets it;
+	// it requires the runner to snapshot /healthz before and after.
+	CheckLeaks bool `json:"checkLeaks,omitempty"`
 }
 
 func (s SLO) withDefaults() SLO {
@@ -82,6 +87,17 @@ type Report struct {
 	// plan; each is expected to fail (panic isolation) and is tallied in
 	// PanicFailed, never in Failed.
 	PlannedPanicJobs int `json:"plannedPanicJobs,omitempty"`
+	// PlannedCancels counts the submissions the runner cancelled at a
+	// seeded lifecycle point; each must land cancelled (Cancelled) or —
+	// when the cancel lost the race — done (CancelRacedDone).
+	PlannedCancels int `json:"plannedCancels,omitempty"`
+	// PlannedHangJobs counts the injected-hang submissions; each must be
+	// preempted by the server watchdog (HangPreempted).
+	PlannedHangJobs int `json:"plannedHangJobs,omitempty"`
+	// PlannedDeadlineJobs counts the unmeetable-deadline submissions;
+	// each must be killed by enforcement — DeadlineExceeded after
+	// admission or DeadlineRejected at the door — never completed.
+	PlannedDeadlineJobs int `json:"plannedDeadlineJobs,omitempty"`
 
 	// Submission outcomes.
 	Submitted     int `json:"submitted"`
@@ -100,6 +116,25 @@ type Report struct {
 	TimedOut       int `json:"timedOut"`
 	HashMismatches int `json:"hashMismatches"`
 	HashedKeys     int `json:"hashedKeys"`
+	// Cancellation and enforcement outcomes. CancelRacedDone counts
+	// planned cancels that lost the race to completion (legitimate);
+	// CancelCollateral counts coalesced duplicates that were terminated
+	// because another item cancelled their shared primary job (reported,
+	// never a failure).
+	Cancelled        int `json:"cancelled,omitempty"`
+	CancelRacedDone  int `json:"cancelRacedDone,omitempty"`
+	CancelCollateral int `json:"cancelCollateral,omitempty"`
+	HangPreempted    int `json:"hangPreempted,omitempty"`
+	DeadlineExceeded int `json:"deadlineExceeded,omitempty"`
+	DeadlineRejected int `json:"deadlineRejected,omitempty"`
+
+	// Service hygiene, populated when SLO.CheckLeaks is set: goroutine
+	// counts from /healthz before the run and after a post-run settle,
+	// plus the pool's final in-flight and queue-depth gauges.
+	GoroutinesBefore int `json:"goroutinesBefore,omitempty"`
+	GoroutinesAfter  int `json:"goroutinesAfter,omitempty"`
+	FinalInFlight    int `json:"finalInFlight"`
+	FinalQueueDepth  int `json:"finalQueueDepth"`
 
 	// Latency and throughput.
 	WallSeconds          float64        `json:"wallSeconds"`
@@ -135,6 +170,36 @@ func (r *Report) evaluate(slo SLO) {
 		add("panic-containment", r.PanicFailed == r.PlannedPanicJobs,
 			"panicFailed=%d of %d planned injected-panic jobs landed failed (pool survived: surrounding jobs completed)",
 			r.PanicFailed, r.PlannedPanicJobs)
+	}
+	if r.PlannedCancels > 0 && !slo.AllowSuspended {
+		// Best-effort cancellation has exactly two legitimate endings per
+		// planned cancel: the job lands cancelled, or completion won the
+		// race and it lands done. Anything else means a cancel was lost.
+		add("cancel-accounting", r.Cancelled+r.CancelRacedDone == r.PlannedCancels,
+			"cancelled=%d + racedDone=%d of %d planned cancels (collateral coalesced terminations: %d)",
+			r.Cancelled, r.CancelRacedDone, r.PlannedCancels, r.CancelCollateral)
+	}
+	if r.PlannedHangJobs > 0 && !slo.AllowSuspended {
+		add("hang-containment", r.HangPreempted == r.PlannedHangJobs,
+			"hangPreempted=%d of %d planned hang jobs were watchdog-preempted",
+			r.HangPreempted, r.PlannedHangJobs)
+	}
+	if r.PlannedDeadlineJobs > 0 && !slo.AllowSuspended {
+		add("deadline-enforcement", r.DeadlineExceeded+r.DeadlineRejected == r.PlannedDeadlineJobs,
+			"deadlineExceeded=%d + fastRejected=%d of %d planned unmeetable-deadline jobs",
+			r.DeadlineExceeded, r.DeadlineRejected, r.PlannedDeadlineJobs)
+	}
+	if slo.CheckLeaks {
+		add("zero-orphaned-workers", r.FinalInFlight == 0 && r.FinalQueueDepth == 0,
+			"post-run inFlight=%d queueDepth=%d (all cancelled/killed work released its worker)",
+			r.FinalInFlight, r.FinalQueueDepth)
+		// Goroutine counts are noisy (GC workers, connection pools), so
+		// the gate allows fixed slack over the pre-run baseline; a real
+		// per-job leak in a storm of dozens of jobs blows far past it.
+		const slack = 16
+		add("no-goroutine-leak", r.GoroutinesAfter <= r.GoroutinesBefore+slack,
+			"goroutines before=%d after=%d (slack %d)",
+			r.GoroutinesBefore, r.GoroutinesAfter, slack)
 	}
 	add("hash-consistency", r.HashMismatches == 0,
 		"mismatches=%d over %d hashed keys", r.HashMismatches, r.HashedKeys)

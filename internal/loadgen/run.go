@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -123,6 +124,13 @@ type collector struct {
 	skipped     int
 	retries     int
 
+	cancelled        int
+	cancelDone       int
+	cancelCollateral int
+	hangPreempted    int
+	deadlineExceeded int
+	deadlineRejected int
+
 	suspendedKeys []string
 
 	submitLat *metrics.Histogram
@@ -160,18 +168,42 @@ func (c *collector) outcome(o jobqueue.Outcome) {
 	c.mu.Unlock()
 }
 
-func (c *collector) terminal(state jobqueue.State, it Item) {
+func (c *collector) terminal(state jobqueue.State, it Item, errMsg string) {
 	c.mu.Lock()
 	switch state {
 	case jobqueue.StateDone:
 		c.done++
+		if it.Cancel {
+			// The planned cancel lost the race to completion — the other
+			// legitimate outcome of best-effort cancellation.
+			c.cancelDone++
+		}
 	case jobqueue.StateFailed:
+		switch {
 		// A planned injected-panic job failing is the expected outcome
-		// (panic isolation working); anything else failing is a defect.
-		if it.Panic {
+		// (panic isolation working); a planned hang job failing with the
+		// watchdog's message is the expected outcome (stall detection
+		// working); anything else failing is a defect.
+		case it.Panic:
 			c.panicFailed++
-		} else {
+		case it.Hang && strings.Contains(errMsg, "watchdog"):
+			c.hangPreempted++
+		default:
 			c.failed++
+		}
+	case jobqueue.StateCancelled:
+		if it.Cancel {
+			c.cancelled++
+		} else {
+			// A coalesced duplicate rode a primary job that another item
+			// cancelled: acceptable collateral, reported but not a defect.
+			c.cancelCollateral++
+		}
+	case jobqueue.StateDeadline:
+		if it.Deadline > 0 {
+			c.deadlineExceeded++
+		} else {
+			c.cancelCollateral++
 		}
 	case jobqueue.StateSuspended:
 		c.suspended++
@@ -194,6 +226,9 @@ type runner struct {
 	// halt, once set, makes submitters skip remaining items — the soak
 	// harness sets it when it SIGTERMs the server mid-cycle.
 	halt atomic.Bool
+	// baseline is the pre-run /healthz snapshot taken when the SLO
+	// requests leak checking.
+	baseline *api.HealthResponse
 }
 
 func newRunner(c *client.Client, cfg Config, ledger *hashLedger) *runner {
@@ -279,7 +314,14 @@ func (r *runner) do(ctx context.Context, it Item) {
 		var retryable *client.RetryableError
 		switch {
 		case errors.As(err, &retryable):
-			r.col.add(&r.col.rejected)
+			if it.Deadline > 0 && retryable.Code == api.CodeDeadlineInfeasible {
+				// Deadline-aware admission fast-rejected the unmeetable
+				// budget: an enforcement outcome the plan expects, not a
+				// lost submission.
+				r.col.add(&r.col.deadlineRejected)
+			} else {
+				r.col.add(&r.col.rejected)
+			}
 		case jctx.Err() != nil && ctx.Err() == nil:
 			r.col.add(&r.col.timedOut)
 		default:
@@ -294,11 +336,45 @@ func (r *runner) do(ctx context.Context, it Item) {
 
 	if resp.Outcome == jobqueue.OutcomeCached {
 		r.col.e2eLat.Observe(time.Since(t0).Seconds())
-		r.col.terminal(jobqueue.StateDone, it)
+		r.col.terminal(jobqueue.StateDone, it, "")
 		if res := resp.Job.Result; res != nil {
 			r.col.ledger.observe(it.Key, res.StateHash, res.Resumed)
 		}
 		return
+	}
+
+	// Planned cancellation: fire DELETE after the seeded delay, racing
+	// the job's own lifecycle on purpose — it may still be queued, be
+	// mid-run, or have already completed, and every outcome is asserted.
+	if it.Cancel {
+		id := resp.Job.ID
+		var cancelWG sync.WaitGroup
+		cancelWG.Add(1)
+		go func() {
+			defer cancelWG.Done()
+			select {
+			case <-jctx.Done():
+				return
+			case <-time.After(it.CancelAfter):
+			}
+			_, _ = r.c.Cancel(jctx, id)
+		}()
+		defer cancelWG.Wait()
+	}
+
+	// finish records info when it is terminal and reports whether it was.
+	finish := func(info *api.JobInfo) bool {
+		if info == nil || !info.State.Terminal() {
+			return false
+		}
+		if info.State == jobqueue.StateDone {
+			r.col.e2eLat.Observe(time.Since(t0).Seconds())
+			if info.Result != nil {
+				r.col.ledger.observe(it.Key, info.Result.StateHash, info.Result.Resumed)
+			}
+		}
+		r.col.terminal(info.State, it, info.Error)
+		return true
 	}
 
 	var info *api.JobInfo
@@ -310,32 +386,23 @@ func (r *runner) do(ctx context.Context, it Item) {
 			// or restart; fall through to the poll, which classifies.
 			_ = serr
 		}
-		info, err = r.c.Job(jctx, resp.Job.ID)
+		info, _ = r.c.Job(jctx, resp.Job.ID)
 	} else {
-		info, err = r.c.Wait(jctx, resp.Job.ID)
+		// Wait returns an error alongside info for every non-done
+		// terminal state; the state switch below is the classifier.
+		info, _ = r.c.Wait(jctx, resp.Job.ID)
 	}
 
 	switch {
-	case info != nil && info.State == jobqueue.StateDone:
-		r.col.e2eLat.Observe(time.Since(t0).Seconds())
-		r.col.terminal(jobqueue.StateDone, it)
-		if info.Result != nil {
-			r.col.ledger.observe(it.Key, info.Result.StateHash, info.Result.Resumed)
-		}
-	case info != nil && (info.State == jobqueue.StateFailed || info.State == jobqueue.StateSuspended):
-		r.col.terminal(info.State, it)
+	case finish(info):
 	case info != nil && it.Follow:
 		// SSE ended but the job is still live (stream broken by a
 		// drain); fall back to polling for the remaining budget.
-		if winfo, werr := r.c.Wait(jctx, resp.Job.ID); werr == nil && winfo.State == jobqueue.StateDone {
-			r.col.e2eLat.Observe(time.Since(t0).Seconds())
-			r.col.terminal(jobqueue.StateDone, it)
-			if winfo.Result != nil {
-				r.col.ledger.observe(it.Key, winfo.Result.StateHash, winfo.Result.Resumed)
-			}
-		} else if winfo != nil && (winfo.State == jobqueue.StateFailed || winfo.State == jobqueue.StateSuspended) {
-			r.col.terminal(winfo.State, it)
-		} else if jctx.Err() != nil && ctx.Err() == nil {
+		winfo, _ := r.c.Wait(jctx, resp.Job.ID)
+		if finish(winfo) {
+			break
+		}
+		if jctx.Err() != nil && ctx.Err() == nil {
 			r.col.add(&r.col.timedOut)
 		} else {
 			r.col.add(&r.col.interrupted)
@@ -383,8 +450,11 @@ func (r *runner) report(items []Item, wall time.Duration, precached map[string]s
 		KeyMultisetHash: KeyMultisetHash(items),
 		DistinctKeys:    distinctKeys(items),
 
-		PlannedDuplicates: expected,
-		PlannedPanicJobs:  planPanicJobs(items),
+		PlannedDuplicates:   expected,
+		PlannedPanicJobs:    planPanicJobs(items),
+		PlannedCancels:      planCancels(items),
+		PlannedHangJobs:     planHangJobs(items),
+		PlannedDeadlineJobs: planDeadlineJobs(items),
 
 		Submitted:     submitted,
 		Accepted:      col.accepted,
@@ -401,6 +471,13 @@ func (r *runner) report(items []Item, wall time.Duration, precached map[string]s
 		TimedOut:       col.timedOut,
 		HashMismatches: mismatches,
 		HashedKeys:     keys,
+
+		Cancelled:        col.cancelled,
+		CancelRacedDone:  col.cancelDone,
+		CancelCollateral: col.cancelCollateral,
+		HangPreempted:    col.hangPreempted,
+		DeadlineExceeded: col.deadlineExceeded,
+		DeadlineRejected: col.deadlineRejected,
 
 		WallSeconds:   wall.Seconds(),
 		SubmitLatency: summarize(col.submitLat),
@@ -450,9 +527,62 @@ func Run(ctx context.Context, baseURL string, cfg Config) (*Report, error) {
 		}
 	}
 
+	// Leak checking brackets the run with /healthz snapshots: the
+	// baseline before any load, and a settled view after.
+	if r.cfg.SLO.CheckLeaks {
+		h, herr := r.c.Health(ctx)
+		if herr != nil {
+			return nil, fmt.Errorf("loadgen: pre-run health snapshot: %w", herr)
+		}
+		r.baseline = h
+	}
+
 	t0 := time.Now()
 	r.runPlan(ctx, items)
 	rep := r.report(items, time.Since(t0), precached)
+
+	if r.cfg.SLO.CheckLeaks {
+		rep.GoroutinesBefore = r.baseline.Goroutines
+		if err := r.settle(ctx, rep); err != nil {
+			return nil, err
+		}
+	}
 	rep.evaluate(r.cfg.SLO)
 	return rep, nil
+}
+
+// settle polls /healthz after the plan drained, waiting for the pool to
+// go quiescent (no in-flight runs, empty queue) and the goroutine count
+// to converge back toward the pre-run baseline. Teardown is
+// asynchronous — worker unwind, SSE handler exit, HTTP connection
+// close — so the check is a bounded convergence poll, not an instant
+// assertion; the last observation is recorded either way and the SLO
+// assertions judge it.
+func (r *runner) settle(ctx context.Context, rep *Report) error {
+	const (
+		budget   = 30 * time.Second
+		interval = 100 * time.Millisecond
+		slack    = 16
+	)
+	deadline := time.Now().Add(budget)
+	for {
+		h, err := r.c.Health(ctx)
+		if err != nil {
+			return fmt.Errorf("loadgen: post-run health snapshot: %w", err)
+		}
+		rep.FinalInFlight = h.InFlight
+		rep.FinalQueueDepth = h.QueueDepth
+		rep.GoroutinesAfter = h.Goroutines
+		if h.InFlight == 0 && h.QueueDepth == 0 && h.Goroutines <= rep.GoroutinesBefore+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return nil // assertions report the unconverged observation
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
 }

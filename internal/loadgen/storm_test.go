@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"peas/internal/jobqueue"
+)
+
+// TestPlanStormShape pins the structural invariants of a plan with the
+// cancellation-storm knobs turned on: cancels are drawn only from
+// unambiguous candidates, fault-injection items carry their faults, and
+// the whole thing stays seed-deterministic down to the cancel timings.
+func TestPlanStormShape(t *testing.T) {
+	mix := Mix{
+		Seed: 11, Jobs: 200, DuplicateRatio: 0.3,
+		CancelFraction: 0.5, HangJobs: 2, DeadlineJobs: 2, LongJobs: 1,
+	}
+	items, err := Plan(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 205 {
+		t.Fatalf("plan size %d, want 205 (200 normal + 2 hang + 2 deadline + 1 long)", len(items))
+	}
+
+	for i, it := range items {
+		if it.Cancel {
+			if it.Duplicate {
+				t.Errorf("item %d: duplicate drawn as cancel candidate (outcome would be ambiguous)", i)
+			}
+			if it.Panic || it.Hang || it.Deadline > 0 {
+				t.Errorf("item %d: fault-injection item drawn as cancel candidate", i)
+			}
+			if it.CancelAfter < 0 || it.CancelAfter >= 200*time.Millisecond {
+				t.Errorf("item %d: cancel delay %v outside [0, 200ms)", i, it.CancelAfter)
+			}
+		}
+		if it.Hang && !it.Spec.Hang {
+			t.Errorf("item %d: hang item without Spec.Hang", i)
+		}
+		if it.Deadline > 0 {
+			if it.Spec.DeadlineSeconds != it.Deadline {
+				t.Errorf("item %d: Deadline %v but Spec.DeadlineSeconds %v", i, it.Deadline, it.Spec.DeadlineSeconds)
+			}
+			if it.Spec.Chaos != nil {
+				t.Errorf("item %d: deadline job carries a chaos plan; it could not park a checkpoint", i)
+			}
+		}
+	}
+	if got := planHangJobs(items); got != 2 {
+		t.Errorf("planned hang jobs %d, want 2", got)
+	}
+	if got := planDeadlineJobs(items); got != 2 {
+		t.Errorf("planned deadline jobs %d, want 2", got)
+	}
+
+	// The draw rate should track the knob over the candidate population
+	// (non-duplicate normal items plus long items).
+	candidates := mix.Jobs - planDuplicates(items) + mix.LongJobs
+	rate := float64(planCancels(items)) / float64(candidates)
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("cancel draw rate %.3f over %d candidates, far from configured 0.5", rate, candidates)
+	}
+
+	// Determinism extends to the cancel choices and timings.
+	again, err := Plan(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KeyMultisetHash(items) != KeyMultisetHash(again) {
+		t.Fatal("storm plans with identical mixes diverge in key multiset")
+	}
+	for i := range items {
+		if items[i].Cancel != again[i].Cancel || items[i].CancelAfter != again[i].CancelAfter {
+			t.Fatalf("item %d: cancel draw differs across identical plans", i)
+		}
+	}
+}
+
+// TestRunCancellationStorm is the end-to-end robustness gate of this
+// package: a closed-loop workload where a seeded fraction of jobs is
+// cancelled at random lifecycle points while injected-hang jobs wedge
+// workers and unmeetable-deadline jobs demand enforcement — all at
+// once, against one live service. The SLO asserts full accounting
+// (every planned cancel lands cancelled or raced-to-done, every hang is
+// watchdog-preempted, every deadline is enforced), bit-exact hashes for
+// everything that completed, and a service left clean: no orphaned
+// workers, no goroutine growth.
+func TestRunCancellationStorm(t *testing.T) {
+	// The stall window must sit comfortably above the slowest legitimate
+	// inter-beat gap — the big long-job deployments take hundreds of
+	// milliseconds to set up under the race detector — while staying
+	// small enough that hung workers are reclaimed within the test
+	// budget. Truly hung jobs show zero beats, so 2s is still decisive.
+	url := startService(t, jobqueue.Config{
+		Workers: 4, QueueDepth: 64, CacheCap: 256,
+		StateDir: t.TempDir(), CheckpointEvery: 200,
+		StallWindow: 2 * time.Second,
+	})
+
+	cfg := Config{
+		Mix: Mix{
+			Seed: 777, Jobs: 30, DuplicateRatio: 0.2, FollowFraction: 0.3,
+			CancelFraction: 0.4, HangJobs: 3, DeadlineJobs: 2, LongJobs: 2,
+		},
+		Mode:        ModeClosed,
+		Concurrency: 8,
+		// Cancels perturb the observed duplicate rate (a duplicate of a
+		// cancelled key re-admits as accepted, resuming the parked
+		// checkpoint), so the rate assertion is disabled; the hash ledger
+		// still gates correctness.
+		SLO: SLO{CheckLeaks: true, DuplicateRateTolerance: 1.0},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, url, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.PlannedCancels == 0 {
+		t.Fatal("storm plan drew no cancels; the seed/knob combination is broken")
+	}
+	if rep.PlannedHangJobs != 3 || rep.PlannedDeadlineJobs != 2 {
+		t.Fatalf("planned hang=%d deadline=%d, want 3/2", rep.PlannedHangJobs, rep.PlannedDeadlineJobs)
+	}
+
+	// Full cancellation accounting: nothing planned goes missing.
+	if rep.Cancelled+rep.CancelRacedDone != rep.PlannedCancels {
+		t.Errorf("cancelled=%d + racedDone=%d, want %d planned cancels (collateral=%d)",
+			rep.Cancelled, rep.CancelRacedDone, rep.PlannedCancels, rep.CancelCollateral)
+	}
+	if rep.HangPreempted != rep.PlannedHangJobs {
+		t.Errorf("hangPreempted=%d, want %d", rep.HangPreempted, rep.PlannedHangJobs)
+	}
+	if rep.DeadlineExceeded+rep.DeadlineRejected != rep.PlannedDeadlineJobs {
+		t.Errorf("deadlineExceeded=%d + rejected=%d, want %d", rep.DeadlineExceeded, rep.DeadlineRejected, rep.PlannedDeadlineJobs)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("unexpected plain failures: %d", rep.Failed)
+	}
+	if rep.HashMismatches != 0 {
+		t.Errorf("hash mismatches under cancellation: %d", rep.HashMismatches)
+	}
+
+	// The service came out the other side clean.
+	if rep.FinalInFlight != 0 || rep.FinalQueueDepth != 0 {
+		t.Errorf("post-storm inFlight=%d queueDepth=%d, want 0/0", rep.FinalInFlight, rep.FinalQueueDepth)
+	}
+	if !rep.Pass {
+		t.Errorf("storm report failed its SLO: %+v", rep.Assertions)
+	}
+}

@@ -32,6 +32,13 @@ type JobInfo struct {
 	// QueueWaitSeconds is the admission-to-start delay (the wait so far
 	// for jobs still queued; absent for cached submissions).
 	QueueWaitSeconds float64 `json:"queueWaitSeconds,omitempty"`
+	// DeadlineSeconds echoes the submission's end-to-end budget (absent
+	// when unbounded).
+	DeadlineSeconds float64 `json:"deadlineSeconds,omitempty"`
+	// CancelRequested reports that a stop (cancel, deadline or watchdog)
+	// has been requested; the job may still be draining toward its
+	// terminal state.
+	CancelRequested bool `json:"cancelRequested,omitempty"`
 	// Error is set on failed jobs.
 	Error string `json:"error,omitempty"`
 	// Result is set on done jobs.
@@ -49,12 +56,37 @@ type SubmitResponse struct {
 	Job     JobInfo          `json:"job"`
 }
 
+// Machine-readable rejection codes carried by ErrorResponse.Code, so
+// clients can branch without parsing error strings.
+const (
+	// CodeQueueFull: admission rejected, queue at capacity (429).
+	CodeQueueFull = "queue_full"
+	// CodeDeadlineInfeasible: the observed queue-wait distribution says
+	// the job's deadline would expire before a worker picks it up (429).
+	CodeDeadlineInfeasible = "deadline_infeasible"
+	// CodePersistFailed: the spec could not be fsynced at admission, so
+	// the job was rolled back rather than accepted unrecoverably (503).
+	CodePersistFailed = "persist_failed"
+)
+
 // ErrorResponse is the JSON error body for every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
-	// RetryAfterSeconds accompanies 429 responses (also sent as the
+	// Code classifies machine-actionable rejections (see the Code*
+	// constants); empty for generic errors.
+	Code string `json:"code,omitempty"`
+	// RetryAfterSeconds accompanies 429/503 responses (also sent as the
 	// Retry-After header).
 	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+}
+
+// CancelResponse answers DELETE /api/v1/jobs/{id}.
+type CancelResponse struct {
+	// Requested reports whether this call actually initiated a stop:
+	// false when the job was already terminal or already stopping
+	// (cancellation is idempotent, so the response is still 2xx).
+	Requested bool    `json:"requested"`
+	Job       JobInfo `json:"job"`
 }
 
 // JobListResponse answers GET /api/v1/jobs.
@@ -77,6 +109,9 @@ type HealthResponse struct {
 	QueueDepth    int     `json:"queueDepth"`
 	InFlight      int     `json:"inFlight"`
 	Workers       int     `json:"workers"`
+	// Goroutines is the process goroutine count — the cancellation-storm
+	// harness watches it to prove cancelled work does not leak goroutines.
+	Goroutines int `json:"goroutines"`
 	// JobsRecovered counts jobs re-admitted from the state dir since
 	// boot; JobsQuarantined counts damaged persisted jobs set aside into
 	// the quarantine directory instead of recovered. A non-zero

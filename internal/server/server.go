@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"time"
@@ -45,6 +46,7 @@ func New(pool *jobqueue.Pool, workers int) *Server {
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /api/v1/results/{key}", s.handleResult)
 	return s
@@ -95,6 +97,8 @@ func jobInfo(j *jobqueue.Job) api.JobInfo {
 	if err := j.Err(); err != nil {
 		info.Error = err.Error()
 	}
+	info.DeadlineSeconds = j.Spec.DeadlineSeconds
+	info.CancelRequested = j.CancelRequested()
 	if wait, _ := j.QueueWait(); wait > 0 {
 		info.QueueWaitSeconds = wait.Seconds()
 	}
@@ -107,11 +111,36 @@ func jobInfo(j *jobqueue.Job) api.JobInfo {
 	return info
 }
 
+// maxSpecBytes bounds the POST /api/v1/jobs body. The largest legitimate
+// spec (explicit positions and per-node seeds for a big deployment plus a
+// chaos plan) stays far under this; anything bigger is a client bug or
+// abuse and is cut off at 413 before it can balloon server memory.
+const maxSpecBytes = 8 << 20
+
+// retryReject writes a rejection that carries a Retry-After hint.
+func retryReject(w http.ResponseWriter, status int, code string, after time.Duration, err error) {
+	secs := int(after.Round(time.Second).Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, status, api.ErrorResponse{
+		Error:             err.Error(),
+		Code:              code,
+		RetryAfterSeconds: secs,
+	})
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec jobqueue.Spec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "job spec exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
@@ -119,15 +148,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var full *jobqueue.QueueFullError
 		if errors.As(err, &full) {
-			secs := int(full.RetryAfter.Round(time.Second).Seconds())
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeJSON(w, http.StatusTooManyRequests, api.ErrorResponse{
-				Error:             full.Error(),
-				RetryAfterSeconds: secs,
-			})
+			retryReject(w, http.StatusTooManyRequests, api.CodeQueueFull, full.RetryAfter, full)
+			return
+		}
+		var infeasible *jobqueue.DeadlineInfeasibleError
+		if errors.As(err, &infeasible) {
+			// Deadline-aware admission: the queue-wait estimate says the
+			// job would blow its budget before starting. Same shape as
+			// queue-full — 429 plus a backoff hint — with a distinct code
+			// so clients can loosen the deadline instead of just waiting.
+			retryReject(w, http.StatusTooManyRequests, api.CodeDeadlineInfeasible, infeasible.RetryAfter, infeasible)
 			return
 		}
 		var persist *jobqueue.PersistError
@@ -136,11 +166,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// promise crash recovery the disk cannot deliver. 503 tells
 			// the client the rejection is the server's condition, not the
 			// request's, and that a retry may succeed (transient ENOSPC).
-			w.Header().Set("Retry-After", "5")
-			writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{
-				Error:             persist.Error(),
-				RetryAfterSeconds: 5,
-			})
+			retryReject(w, http.StatusServiceUnavailable, api.CodePersistFailed, 5*time.Second, persist)
 			return
 		}
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -171,6 +197,26 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, jobInfo(job))
+}
+
+// handleCancel requests cancellation of a job. Cancellation is
+// asynchronous and idempotent: 202 means this call initiated a stop (the
+// job reaches cancelled/deadline_exceeded when the worker acknowledges;
+// queued jobs are already terminal in the response), 200 means there was
+// nothing left to do — the job is terminal or a stop is already in
+// flight. Either way the body carries the job's current view.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, found, requested := s.pool.Cancel(id)
+	if !found {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	status := http.StatusOK
+	if requested {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, api.CancelResponse{Requested: requested, Job: jobInfo(job)})
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -253,6 +299,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		QueueDepth:      stats.QueueDepth,
 		InFlight:        stats.InFlight,
 		Workers:         s.workers,
+		Goroutines:      runtime.NumGoroutine(),
 		JobsRecovered:   stats.Counters["jobs_recovered"],
 		JobsQuarantined: stats.Counters["jobs_quarantined"],
 	})

@@ -1,0 +1,132 @@
+package sim
+
+import "testing"
+
+// chain schedules a self-rescheduling event so the run loop always has
+// work: each firing bumps *count and re-arms one tick later.
+func chain(e *Engine, count *int) {
+	var tick func()
+	tick = func() {
+		*count++
+		e.Schedule(1, tick)
+	}
+	e.Schedule(1, tick)
+}
+
+func TestSupervisorPreempt(t *testing.T) {
+	e := NewEngine()
+	var sup Supervisor
+	e.Supervise(&sup)
+	ran := 0
+	chain(e, &ran)
+	// Request the stop from inside a callback: atomically visible at the
+	// next poll boundary, exactly as a controller goroutine would be.
+	stopAt := 3 * superviseStride / 2
+	e.Schedule(float64(stopAt)+0.5, func() { sup.Stop.Store(true) })
+
+	e.Run(1e9)
+
+	if !e.Preempted() {
+		t.Fatalf("Preempted() = false after supervisor stop")
+	}
+	if e.Pending() == 0 {
+		t.Fatalf("preempted engine lost its pending schedule")
+	}
+	if e.Now() >= 1e9 {
+		t.Fatalf("preempted clock advanced to horizon: now=%v", e.Now())
+	}
+	// The stop lands at the first poll boundary after the flag is set.
+	if got := e.Executed(); got%superviseStride != 0 {
+		t.Fatalf("stopped off a poll boundary: executed=%d", got)
+	}
+	if beat := sup.Beat.Load(); beat != e.Executed() {
+		t.Fatalf("Beat=%d, want executed=%d", beat, e.Executed())
+	}
+}
+
+func TestSupervisorResumeAfterPreempt(t *testing.T) {
+	e := NewEngine()
+	var sup Supervisor
+	e.Supervise(&sup)
+	ran := 0
+	chain(e, &ran)
+	e.Schedule(float64(superviseStride)+0.5, func() { sup.Stop.Store(true) })
+	e.Run(1e6)
+	if !e.Preempted() {
+		t.Fatalf("expected preemption")
+	}
+	atStop := ran
+
+	// Clearing the flag and re-running continues from the stop point.
+	sup.Stop.Store(false)
+	e.Run(float64(superviseStride) * 4)
+	if e.Preempted() {
+		t.Fatalf("Preempted() stuck after a clean horizon return")
+	}
+	if ran <= atStop {
+		t.Fatalf("run did not resume: ran=%d atStop=%d", ran, atStop)
+	}
+	if e.Now() != float64(superviseStride)*4 {
+		t.Fatalf("horizon return left clock at %v", e.Now())
+	}
+}
+
+func TestSupervisorBeatAdvances(t *testing.T) {
+	e := NewEngine()
+	var sup Supervisor
+	e.Supervise(&sup)
+	ran := 0
+	chain(e, &ran)
+	e.Run(float64(superviseStride * 3))
+	if beat := sup.Beat.Load(); beat < superviseStride {
+		t.Fatalf("Beat=%d after %d events", beat, e.Executed())
+	}
+}
+
+// TestSupervisorEngineStopUnaffected pins the legacy Engine.Stop contract:
+// no supervisor involvement, Preempted stays false, and the clock still
+// advances to the horizon.
+func TestSupervisorEngineStopUnaffected(t *testing.T) {
+	e := NewEngine()
+	var sup Supervisor
+	e.Supervise(&sup)
+	ran := 0
+	chain(e, &ran)
+	e.Schedule(5.5, func() { e.Stop() })
+	e.Run(100)
+	if e.Preempted() {
+		t.Fatalf("Engine.Stop must not read as a supervisor preemption")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Engine.Stop changed the clock contract: now=%v", e.Now())
+	}
+}
+
+// TestSupervisedRunAllocs guards the hot-path contract: polling an
+// attached supervisor must stay allocation-free.
+func TestSupervisedRunAllocs(t *testing.T) {
+	e := NewEngine()
+	var sup Supervisor
+	e.Supervise(&sup)
+	fn := func(any) {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleArg(1, fn, nil)
+		e.Run(e.Now() + 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("supervised run allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkScheduleRunArgSupervised(b *testing.B) {
+	e := NewEngine()
+	var sup Supervisor
+	e.Supervise(&sup)
+	n := 0
+	fn := func(any) { n++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(1, fn, nil)
+		e.Run(e.Now() + 2)
+	}
+}
